@@ -1,0 +1,135 @@
+//! Summary statistics for repeated measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample: count, mean, standard deviation, min/median/max.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two points).
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Median (midpoint-interpolated for even sizes).
+    pub median: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Non-finite values are ignored.
+    pub fn of(values: &[f64]) -> Self {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, median: 0.0, max: 0.0 };
+        }
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let median = if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 };
+        Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: v[0],
+            median,
+            max: v[n - 1],
+        }
+    }
+
+    /// Half-width of a ~95% normal-approximation confidence interval on the
+    /// mean (`1.96·σ/√n`; 0 for n < 2).
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Mean of a slice (0 for empty input); convenience for one-off uses.
+pub fn mean(values: &[f64]) -> f64 {
+    Summary::of(values).mean
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `\[0, 1\]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile needs q in [0, 1]");
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        let expected_sd = (((1.5f64).powi(2) * 2.0 + (0.5f64).powi(2) * 2.0) / 3.0).sqrt();
+        assert!((s.std_dev - expected_sd).abs() < 1e-12);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile needs q in [0, 1]")]
+    fn quantile_range_checked() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Markdown table rendering for experiment binaries.
+
+/// A simple Markdown table builder.
+///
+/// ```
+/// use radionet_analysis::Table;
+/// let mut t = Table::new(["n", "steps"]);
+/// t.row(["256", "1234"]);
+/// let s = t.render();
+/// assert!(s.contains("| n"));
+/// assert!(s.contains("| 256"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders aligned GitHub-flavored Markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", cell, w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        let _ = cols;
+        out
+    }
+}
+
+/// Formats a float with 1 decimal for tables.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 2 decimals for tables.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals for tables.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["family", "n", "time"]);
+        t.row(["grid", "1024", "33.5"]);
+        t.row(["unit-disk", "64", "7"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| family"));
+        assert!(lines[1].starts_with("|---"));
+        assert!(lines[2].contains("| 1024"));
+        // All lines equal width (aligned).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("| x"));
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f2(1.267), "1.27");
+        assert_eq!(f3(1.2675), "1.268"); // banker's-free rounding via format!
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the analysis helpers.
+
+use proptest::prelude::*;
+use radionet_analysis::fit::fit_power_law;
+use radionet_analysis::stats::{quantile, Summary};
+use radionet_analysis::{ExperimentRecord, RunRecord, Table};
+
+proptest! {
+    /// Summary statistics respect their defining inequalities.
+    #[test]
+    fn summary_inequalities(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.ci95() >= 0.0);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let q0 = quantile(&values, 0.0);
+        let q5 = quantile(&values, 0.5);
+        let q1 = quantile(&values, 1.0);
+        prop_assert!(q0 <= q5 && q5 <= q1);
+    }
+
+    /// Power-law fits recover exact power laws for arbitrary (a, b).
+    #[test]
+    fn fit_recovers_exact(a in 0.01f64..100.0, b in -3.0f64..4.0) {
+        let pts: Vec<(f64, f64)> =
+            (1..30).map(|i| (i as f64, a * (i as f64).powf(b))).collect();
+        let fit = fit_power_law(&pts).unwrap();
+        prop_assert!((fit.b - b).abs() < 1e-6, "b {} vs {}", fit.b, b);
+        prop_assert!((fit.a - a).abs() / a < 1e-6, "a {} vs {}", fit.a, a);
+        prop_assert!(fit.r_squared > 0.999);
+    }
+
+    /// Tables render one line per row plus header and separator, all of
+    /// equal width.
+    #[test]
+    fn table_shape(rows in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..20)) {
+        let mut t = Table::new(["a", "b"]);
+        for (x, y) in &rows {
+            t.row([x.to_string(), y.to_string()]);
+        }
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 2);
+        let w = lines[0].len();
+        prop_assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    /// Experiment records survive a JSON round trip for arbitrary contents
+    /// (metric floats up to relative ULP noise in the JSON formatter).
+    #[test]
+    fn record_round_trip(
+        id in "[A-Z][0-9]{1,3}",
+        metrics in proptest::collection::btree_map("[a-z_]{1,12}", -1e12f64..1e12, 0..8),
+    ) {
+        let mut e = ExperimentRecord::new(&id, "prop");
+        let mut run = RunRecord::new().param("k", 1);
+        for (k, v) in &metrics {
+            run = run.metric(k, *v);
+        }
+        e.push(run);
+        let back: ExperimentRecord = serde_json::from_str(&e.to_json()).unwrap();
+        prop_assert_eq!(&back.id, &e.id);
+        prop_assert_eq!(&back.runs[0].params, &e.runs[0].params);
+        prop_assert_eq!(back.runs[0].metrics.len(), metrics.len());
+        for (k, v) in &metrics {
+            let got = back.runs[0].metrics[k];
+            prop_assert!(
+                (got - v).abs() <= v.abs() * 1e-12,
+                "metric {k}: {got} vs {v}"
+            );
+        }
+    }
+}

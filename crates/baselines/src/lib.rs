@@ -1,0 +1,34 @@
+//! Baseline algorithms the paper compares against (or builds upon):
+//!
+//! * [`bgi`] — the classic Bar-Yehuda–Goldreich–Itai Decay broadcast,
+//!   `O(D log n + log² n)` whp: the standard general-graph comparator;
+//! * [`czumaj_rytter`] — a Czumaj–Rytter / Kowalski–Pelc style pipelined
+//!   broadcast, `O(D log(n/D) + log² n)`;
+//! * [`local_mis`] — Luby's and Ghaffari's MIS in the LOCAL message-passing
+//!   model, the round-complexity references for Radio MIS (Theorem 14
+//!   simulates Ghaffari's rounds at `O(log² n)` radio steps each);
+//! * [`naive_le`] — candidate-lottery leader election over multi-source BGI
+//!   flooding (the folklore variant the paper cites from \[6\]);
+//! * [`cd_wakeup`] — wake-up flooding **with collision detection**, the
+//!   capability that separates the paper's model from \[29\]/\[12\]
+//!   (experiment E13 measures the gap).
+//!
+//! The most important comparator — the original \[CD21\] `Compete` with
+//! all-node centers and `log_D n` propagation lengths — lives in
+//! `radionet_core::compete` as [`radionet_core::CompeteConfig::cd21`], since
+//! it shares the whole engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgi;
+pub mod cd_wakeup;
+pub mod czumaj_rytter;
+pub mod local_mis;
+pub mod naive_le;
+
+pub use bgi::{run_bgi_broadcast, BgiConfig, BgiOutcome};
+pub use cd_wakeup::{cd_wakeup_on, run_cd_wakeup, CdWakeupConfig, CdWakeupOutcome};
+pub use czumaj_rytter::{run_cr_broadcast, CrConfig};
+pub use local_mis::{ghaffari_local_mis, luby_mis, LocalMisOutcome};
+pub use naive_le::{run_naive_leader_election, NaiveLeConfig, NaiveLeOutcome};

@@ -1,0 +1,230 @@
+//! LOCAL-model MIS references: Luby's algorithm \[23\] and Ghaffari's
+//! algorithm \[15\] (the paper's Algorithm 4), executed with free
+//! message-passing rounds.
+//!
+//! These are *round-complexity references*, not radio algorithms: Radio MIS
+//! (Theorem 14) simulates Ghaffari's rounds at `O(log² n)` radio steps each,
+//! and experiment E4 compares `radio steps ≈ LOCAL rounds × log² n`.
+
+use radionet_graph::independent_set::is_maximal_independent_set;
+use radionet_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Outcome of a LOCAL-model MIS run.
+#[derive(Clone, Debug)]
+pub struct LocalMisOutcome {
+    /// The MIS members.
+    pub mis: Vec<NodeId>,
+    /// LOCAL rounds consumed.
+    pub rounds: u64,
+    /// Whether all nodes were decided within the round cap.
+    pub complete: bool,
+}
+
+impl LocalMisOutcome {
+    /// Validity of the output set.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.complete && is_maximal_independent_set(g, &self.mis)
+    }
+}
+
+/// Luby's MIS (the local-minimum variant): each round, active nodes draw a
+/// uniform value; local minima join the MIS and are removed with their
+/// neighbors. `O(log n)` rounds whp.
+pub fn luby_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R, round_cap: u64) -> LocalMisOutcome {
+    let n = g.n();
+    let mut active = vec![true; n];
+    let mut in_mis = vec![false; n];
+    let mut rounds = 0;
+    let mut remaining = n;
+    while remaining > 0 && rounds < round_cap {
+        rounds += 1;
+        let r: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mut joins = Vec::new();
+        for v in g.nodes() {
+            if !active[v.index()] {
+                continue;
+            }
+            let is_min = g
+                .neighbors(v)
+                .iter()
+                .filter(|u| active[u.index()])
+                .all(|u| r[v.index()] < r[u.index()]);
+            if is_min {
+                joins.push(v);
+            }
+        }
+        for v in joins {
+            if !active[v.index()] {
+                continue; // removed by an earlier join this round (cannot
+                          // happen for two local minima, but keep it safe)
+            }
+            in_mis[v.index()] = true;
+            active[v.index()] = false;
+            remaining -= 1;
+            for &u in g.neighbors(v) {
+                if active[u.index()] {
+                    active[u.index()] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    LocalMisOutcome {
+        mis: g.nodes().filter(|v| in_mis[v.index()]).collect(),
+        rounds,
+        complete: remaining == 0,
+    }
+}
+
+/// Ghaffari's MIS (paper, Algorithm 4) with exact effective degrees: marks
+/// with desire level `p_t(v)`, joins on lonely marks, and updates
+/// `p_{t+1}` by the `d_t(v) ≥ 2` threshold. `O(log Δ + poly(log log n))`
+/// rounds; run here with cap `O(log n)`.
+pub fn ghaffari_local_mis<R: Rng + ?Sized>(
+    g: &Graph,
+    rng: &mut R,
+    round_cap: u64,
+) -> LocalMisOutcome {
+    let n = g.n();
+    let mut active = vec![true; n];
+    let mut in_mis = vec![false; n];
+    let mut p = vec![0.5f64; n];
+    let mut rounds = 0;
+    let mut remaining = n;
+    while remaining > 0 && rounds < round_cap {
+        rounds += 1;
+        let marked: Vec<bool> = (0..n)
+            .map(|i| active[i] && rng.gen_bool(p[i].clamp(0.0, 1.0)))
+            .collect();
+        // Joins: marked with no marked active neighbor.
+        let mut joins = Vec::new();
+        for v in g.nodes() {
+            if active[v.index()]
+                && marked[v.index()]
+                && !g
+                    .neighbors(v)
+                    .iter()
+                    .any(|u| active[u.index()] && marked[u.index()])
+            {
+                joins.push(v);
+            }
+        }
+        for v in joins {
+            if in_mis[v.index()] || !active[v.index()] {
+                continue;
+            }
+            in_mis[v.index()] = true;
+            active[v.index()] = false;
+            remaining -= 1;
+            for &u in g.neighbors(v) {
+                if active[u.index()] {
+                    active[u.index()] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+        // Effective degrees on the *surviving* graph (as in Algorithm 4:
+        // removed nodes contribute nothing).
+        let d: Vec<f64> = g
+            .nodes()
+            .map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(|u| active[u.index()])
+                    .map(|u| p[u.index()])
+                    .sum()
+            })
+            .collect();
+        for i in 0..n {
+            if active[i] {
+                p[i] = if d[i] >= 2.0 { p[i] / 2.0 } else { (2.0 * p[i]).min(0.5) };
+            }
+        }
+    }
+    LocalMisOutcome {
+        mis: g.nodes().filter(|v| in_mis[v.index()]).collect(),
+        rounds,
+        complete: remaining == 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cap(g: &Graph) -> u64 {
+        16 * (g.n().max(2) as f64).log2().ceil() as u64
+    }
+
+    #[test]
+    fn luby_valid_on_families() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for g in [
+            generators::path(50),
+            generators::grid2d(8, 8),
+            generators::complete(20),
+            generators::star(30),
+            generators::random::gnp(60, 0.1, &mut StdRng::seed_from_u64(5)),
+        ] {
+            let out = luby_mis(&g, &mut rng, cap(&g));
+            assert!(out.is_valid(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn ghaffari_valid_on_families() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for g in [
+            generators::path(50),
+            generators::grid2d(8, 8),
+            generators::complete(20),
+            generators::star(30),
+            generators::random::gnp(60, 0.1, &mut StdRng::seed_from_u64(6)),
+        ] {
+            let out = ghaffari_local_mis(&g, &mut rng, cap(&g));
+            assert!(out.is_valid(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::grid2d(24, 24);
+        let out = luby_mis(&g, &mut rng, cap(&g));
+        assert!(out.complete);
+        let bound = 8.0 * (g.n() as f64).log2();
+        assert!(
+            (out.rounds as f64) <= bound,
+            "Luby used {} rounds on n={} (bound {bound})",
+            out.rounds,
+            g.n()
+        );
+        let out = ghaffari_local_mis(&g, &mut rng, cap(&g));
+        assert!(out.complete);
+        assert!((out.rounds as f64) <= bound);
+    }
+
+    #[test]
+    fn clique_yields_singleton() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::complete(32);
+        let out = luby_mis(&g, &mut rng, cap(&g));
+        assert_eq!(out.mis.len(), 1);
+        let out = ghaffari_local_mis(&g, &mut rng, cap(&g));
+        assert_eq!(out.mis.len(), 1);
+    }
+
+    #[test]
+    fn edgeless_takes_everything_in_one_round() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Graph::from_edges(10, []).unwrap();
+        let out = luby_mis(&g, &mut rng, 5);
+        assert!(out.is_valid(&g));
+        assert_eq!(out.mis.len(), 10);
+        assert_eq!(out.rounds, 1);
+    }
+}

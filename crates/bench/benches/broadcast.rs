@@ -1,0 +1,48 @@
+//! End-to-end broadcast benchmarks: Compete (Theorem 7) vs the BGI and CR
+//! baselines on a growth-bounded instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radionet_baselines::bgi::{run_bgi_broadcast, BgiConfig};
+use radionet_baselines::czumaj_rytter::{run_cr_broadcast, CrConfig};
+use radionet_core::broadcast::run_broadcast;
+use radionet_core::compete::CompeteConfig;
+use radionet_graph::families::Family;
+use radionet_sim::{NetInfo, Sim};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(10);
+
+    let g = Family::Grid.instantiate(256, 1);
+    let info = NetInfo::exact(&g);
+
+    group.bench_function("compete_alpha_grid_256", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&g, info, 9);
+            run_broadcast(&mut sim, g.node(0), 42, &CompeteConfig::default()).completed()
+        })
+    });
+    group.bench_function("compete_cd21_grid_256", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&g, info, 9);
+            run_broadcast(&mut sim, g.node(0), 42, &CompeteConfig::cd21()).completed()
+        })
+    });
+    group.bench_function("bgi_grid_256", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&g, info, 9);
+            run_bgi_broadcast(&mut sim, g.node(0), 42, &BgiConfig::default()).completed()
+        })
+    });
+    group.bench_function("cr_grid_256", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&g, info, 9);
+            run_cr_broadcast(&mut sim, g.node(0), 42, &CrConfig::default()).completed()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Engine micro-benchmarks: raw step throughput of the radio simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use radionet_graph::generators;
+use radionet_primitives::decay::{DecayConfig, DecayProtocol, DecaySchedule};
+use radionet_sim::{NetInfo, Sim};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    for n in [256usize, 1024] {
+        let side = (n as f64).sqrt() as usize;
+        let g = generators::grid2d(side, side);
+        let info = NetInfo::exact(&g);
+        let schedule = DecaySchedule::new(info.log_n());
+        let config = DecayConfig { iterations: 8 };
+        group.bench_function(format!("decay_phase_grid_{n}"), |b| {
+            b.iter_batched(
+                || {
+                    let states: Vec<DecayProtocol<u64>> = g
+                        .nodes()
+                        .map(|v| {
+                            DecayProtocol::new(
+                                schedule,
+                                config,
+                                (v.index() % 4 == 0).then_some(7u64),
+                            )
+                        })
+                        .collect();
+                    (Sim::new(&g, info, 1), states)
+                },
+                |(mut sim, mut states)| {
+                    sim.run_phase(&mut states, config.total_steps(schedule));
+                    sim.stats().simulated_steps
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

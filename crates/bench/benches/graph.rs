@@ -1,0 +1,43 @@
+//! Graph-substrate micro-benchmarks: generators, diameter, α bracketing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radionet_graph::independent_set::alpha_bounds;
+use radionet_graph::traversal::{diameter_exact, diameter_ifub};
+use radionet_graph::{families::Family, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+
+    group.bench_function("unit_disk_1000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            generators::unit_disk_in_square(1000, 17.0, &mut rng).graph.m()
+        })
+    });
+
+    let grid = generators::grid2d(48, 48);
+    group.bench_function("diameter_exact_grid_2304", |b| {
+        b.iter(|| diameter_exact(&grid))
+    });
+    group.bench_function("diameter_ifub_grid_2304", |b| {
+        b.iter(|| diameter_ifub(&grid))
+    });
+
+    let gnp = Family::Gnp.instantiate(60, 3);
+    group.bench_function("alpha_exact_gnp_60", |b| {
+        b.iter(|| alpha_bounds(&gnp, 500_000).lower)
+    });
+
+    let big = Family::UnitDisk.instantiate(2048, 3);
+    group.bench_function("alpha_bracket_udg_2048", |b| {
+        b.iter(|| alpha_bounds(&big, 2_000).upper)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

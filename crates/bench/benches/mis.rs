@@ -1,0 +1,41 @@
+//! MIS benchmarks: Radio MIS (Theorem 14) end-to-end and the LOCAL-model
+//! references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radionet_baselines::local_mis::{ghaffari_local_mis, luby_mis};
+use radionet_core::mis::{run_radio_mis, MisConfig};
+use radionet_graph::families::Family;
+use radionet_sim::{NetInfo, Sim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+
+    for n in [256usize, 1024] {
+        let g = Family::Gnp.instantiate(n, 1);
+        let info = NetInfo::exact(&g);
+        group.bench_function(format!("radio_mis_gnp_{n}"), |b| {
+            b.iter(|| {
+                let mut sim = Sim::new(&g, info, 5);
+                run_radio_mis(&mut sim, &MisConfig::fast()).steps
+            })
+        });
+    }
+
+    let g = Family::Gnp.instantiate(4096, 1);
+    group.bench_function("ghaffari_local_gnp_4096", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| ghaffari_local_mis(&g, &mut rng, 200).rounds)
+    });
+    group.bench_function("luby_local_gnp_4096", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| luby_mis(&g, &mut rng, 200).rounds)
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Clustering benchmarks: abstract MPX vs the radio implementation, plus
+//! schedule construction (the S1 oracle work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radionet_cluster::mpx::partition;
+use radionet_cluster::partition_radio::{run_radio_partition, RadioPartitionConfig};
+use radionet_cluster::ClusterSchedule;
+use radionet_graph::families::Family;
+use radionet_graph::independent_set::greedy_mis_min_degree;
+use radionet_sim::{NetInfo, Sim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+
+    let g = Family::Grid.instantiate(4096, 1);
+    let mis = greedy_mis_min_degree(&g);
+    group.bench_function("abstract_mpx_grid_4096", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| partition(&g, &mis, 0.25, &mut rng).radius())
+    });
+
+    let small = Family::Grid.instantiate(256, 1);
+    let small_mis = greedy_mis_min_degree(&small);
+    let mut flags = vec![false; small.n()];
+    for v in &small_mis {
+        flags[v.index()] = true;
+    }
+    let info = NetInfo::exact(&small);
+    group.bench_function("radio_partition_grid_256", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&small, info, 3);
+            run_radio_partition(&mut sim, &flags, 0.25, RadioPartitionConfig::default())
+                .coverage()
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let clustering = partition(&g, &mis, 0.25, &mut rng);
+    group.bench_function("schedule_build_grid_4096", |b| {
+        b.iter(|| ClusterSchedule::build(&g, &clustering).max_colors())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

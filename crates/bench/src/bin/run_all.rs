@@ -1,0 +1,17 @@
+//! Regenerates every experiment table and JSON record (DESIGN.md §4).
+//!
+//! Scale via `RADIONET_SCALE=quick|full` (default full). Records land in
+//! `results/`.
+fn main() {
+    let scale = radionet_bench::Scale::from_env();
+    println!("# radionet experiment suite ({scale:?} scale)\n");
+    let records = radionet_bench::experiments::run_all(scale);
+    let dir = std::path::Path::new("results");
+    for record in &records {
+        match record.save(dir) {
+            Ok(path) => eprintln!("record written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", record.id),
+        }
+    }
+    println!("\n{} experiments complete.", records.len());
+}

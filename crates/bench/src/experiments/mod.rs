@@ -1,0 +1,62 @@
+//! Experiment implementations, one per DESIGN.md §4 entry.
+//!
+//! | id | claim | function |
+//! |----|-------|----------|
+//! | E1 | Claim 10 (Decay amplification) | [`e1_decay`] |
+//! | E2 | Lemma 11 (EstimateEffectiveDegree) | [`e2_eed`] |
+//! | E3 | Theorem 14 (Radio MIS `O(log³ n)`) | [`e3_mis_scaling`] |
+//! | E4 | MIS round-complexity context | [`e4_mis_baselines`] |
+//! | E5 | Theorem 2 vs \[CD21\] Thm 2.2 | [`e5_cluster_distance`] |
+//! | E6 | Lemma 5 (bad scales) | [`e6_bad_j`] |
+//! | E7 | Lemma 4 / Lemma 3 constants | [`e7_lemma4`] |
+//! | E8 | Theorem 7 / Corollary 9 (broadcast) | [`e8_broadcast`] |
+//! | E9 | Theorem 8 (leader election) | [`e9_leader_election`] |
+//! | E10 | Lemmas 12–13 (golden rounds) | [`e10_golden_rounds`] |
+//! | E11 | design ablations | [`e11_ablations`] |
+//! | E12 | S2 constant calibration | [`e12_calibration`] |
+
+mod broadcast_exp;
+mod cluster_exp;
+mod mis_exp;
+mod models_exp;
+mod primitives_exp;
+
+pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
+pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
+pub use mis_exp::{e10_golden_rounds, e3_mis_scaling, e4_mis_baselines};
+pub use models_exp::e13_models;
+pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
+
+use radionet_analysis::ExperimentRecord;
+
+/// Prints the experiment banner.
+pub(crate) fn banner(id: &str, claim: &str) {
+    println!("\n## {id} — {claim}\n");
+}
+
+/// Prints the record's notes after its table.
+pub(crate) fn print_notes(record: &ExperimentRecord) {
+    for note in &record.notes {
+        println!("- {note}");
+    }
+    println!();
+}
+
+/// Runs every experiment at the given scale, returning all records.
+pub fn run_all(scale: crate::Scale) -> Vec<ExperimentRecord> {
+    vec![
+        e1_decay(scale),
+        e2_eed(scale),
+        e3_mis_scaling(scale),
+        e4_mis_baselines(scale),
+        e5_cluster_distance(scale),
+        e6_bad_j(scale),
+        e7_lemma4(scale),
+        e8_broadcast(scale),
+        e9_leader_election(scale),
+        e10_golden_rounds(scale),
+        e11_ablations(scale),
+        e12_calibration(scale),
+        e13_models(scale),
+    ]
+}

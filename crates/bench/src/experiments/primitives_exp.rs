@@ -1,0 +1,270 @@
+//! E1 (Claim 10), E2 (Lemma 11) and E12 (constant calibration).
+
+use super::{banner, print_notes};
+use crate::Scale;
+use radionet_analysis::table::f3;
+use radionet_analysis::{ExperimentRecord, RunRecord, Table};
+use radionet_graph::{generators, Graph};
+use radionet_primitives::decay::{DecayConfig, DecayProtocol, DecaySchedule};
+use radionet_primitives::effective_degree::{EedConfig, EedProtocol, EedVerdict};
+use radionet_sim::{NetInfo, Sim};
+
+/// Fraction of "should-hear" nodes (those with a neighbor in `set`) that
+/// heard anything after `iterations` Decay iterations.
+fn decay_delivery(g: &Graph, set: &[usize], iterations: u32, seed: u64) -> f64 {
+    let info = NetInfo::exact(g);
+    let schedule = DecaySchedule::new(info.log_n());
+    let config = DecayConfig { iterations };
+    let mut sim = Sim::new(g, info, seed);
+    let mut states: Vec<DecayProtocol<u32>> = g
+        .nodes()
+        .map(|v| {
+            let msg = set.contains(&v.index()).then_some(1u32);
+            DecayProtocol::new(schedule, config, msg)
+        })
+        .collect();
+    sim.run_phase(&mut states, config.total_steps(schedule) + 1);
+    let mut should = 0usize;
+    let mut did = 0usize;
+    let in_set = |i: usize| set.contains(&i);
+    for v in g.nodes() {
+        if g.neighbors(v).iter().any(|u| in_set(u.index())) {
+            should += 1;
+            if states[v.index()].heard_any() {
+                did += 1;
+            }
+        }
+    }
+    if should == 0 {
+        1.0
+    } else {
+        did as f64 / should as f64
+    }
+}
+
+/// E1 — Claim 10: `O(log n)` Decay iterations deliver to every neighbor of
+/// the transmitting set whp.
+pub fn e1_decay(scale: Scale) -> ExperimentRecord {
+    let claim = "Claim 10: O(log n) Decay iterations inform all neighbors of S whp";
+    banner("E1", claim);
+    let mut record = ExperimentRecord::new("E1", claim);
+    let mut table = Table::new(["topology", "n", "|S|", "iterations", "delivery"]);
+    let trials = scale.trials() / 4;
+    let n = 256;
+
+    // The adversarial cases: a dense clique where everyone transmits, a star
+    // where all leaves jam the hub, and a sparse random graph.
+    let clique = generators::complete(n);
+    let star = generators::star(n);
+    let gnp = generators::random::gnp(
+        n,
+        8.0 / n as f64,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+    );
+    let all: Vec<usize> = (0..n).collect();
+    let leaves: Vec<usize> = (1..n).collect();
+    let quarter: Vec<usize> = (0..n / 4).collect();
+    let log_n = (n as f64).log2().ceil() as u32;
+    let cases: [(&str, &Graph, &[usize]); 3] =
+        [("clique", &clique, &all), ("star-leaves", &star, &leaves), ("gnp", &gnp, &quarter)];
+
+    for (name, g, set) in cases {
+        for &iters in &[1u32, 2, log_n / 2, log_n, 2 * log_n] {
+            let mut sum = 0.0;
+            for t in 0..trials {
+                sum += decay_delivery(g, set, iters.max(1), t as u64 * 31 + 7);
+            }
+            let delivery = sum / trials as f64;
+            table.row([
+                name.to_string(),
+                g.n().to_string(),
+                set.len().to_string(),
+                iters.max(1).to_string(),
+                f3(delivery),
+            ]);
+            record.push(
+                RunRecord::new()
+                    .param("topology", name)
+                    .param("n", g.n())
+                    .param("set_size", set.len())
+                    .param("iterations", iters.max(1))
+                    .metric("delivery", delivery),
+            );
+        }
+    }
+    println!("{}", table.render());
+    // The claim: at Θ(log n) iterations delivery reaches ~1.
+    let worst_at_2logn = record
+        .runs
+        .iter()
+        .filter(|r| r.params["iterations"] == (2 * log_n).to_string())
+        .map(|r| r.metrics["delivery"])
+        .fold(1.0f64, f64::min);
+    record.note(format!(
+        "worst delivery at 2·log n iterations: {worst_at_2logn:.4} (paper predicts 1 − n^-c)"
+    ));
+    print_notes(&record);
+    record
+}
+
+/// Measured probability that EED answers High for a node of effective
+/// degree `d`, realized on a star (hub listens to `leaves` leaves with
+/// per-leaf desire `d / leaves`).
+fn eed_high_prob(d: f64, trials: usize, config: EedConfig, base_seed: u64) -> f64 {
+    let leaves = 32usize;
+    let p_leaf = (d / leaves as f64).min(0.5);
+    let g = generators::star(leaves + 1);
+    let info = NetInfo::exact(&g);
+    let log_n = info.log_n();
+    let mut high = 0usize;
+    for t in 0..trials {
+        let mut sim = Sim::new(&g, info, base_seed + t as u64);
+        let mut states: Vec<EedProtocol> = g
+            .nodes()
+            .map(|v| {
+                let p = if v.index() == 0 { 0.0 } else { p_leaf };
+                EedProtocol::new(config, log_n, p)
+            })
+            .collect();
+        sim.run_phase(&mut states, config.total_steps(log_n) + 2);
+        if states[0].verdict() == Some(EedVerdict::High) {
+            high += 1;
+        }
+    }
+    high as f64 / trials as f64
+}
+
+/// E2 — Lemma 11: EED classifies `d ≥ 1` as High and `d ≤ 0.01` as Low whp.
+pub fn e2_eed(scale: Scale) -> ExperimentRecord {
+    let claim = "Lemma 11: EED answers High if d >= 1, Low if d <= 0.01, whp";
+    banner("E2", claim);
+    let mut record = ExperimentRecord::new("E2", claim);
+    let mut table = Table::new(["effective degree d", "P(High)", "Lemma 11 requires"]);
+    let trials = scale.trials();
+    let config = EedConfig::default();
+    for &d in &[0.001, 0.01, 0.05, 0.2, 0.5, 1.0, 2.0, 8.0, 16.0] {
+        let p_high = eed_high_prob(d, trials, config, 1000 + (d * 1000.0) as u64);
+        let requirement = if d <= 0.01 {
+            "Low (P(High) ~ 0)"
+        } else if d >= 1.0 {
+            "High (P(High) ~ 1)"
+        } else {
+            "either"
+        };
+        table.row([format!("{d}"), f3(p_high), requirement.to_string()]);
+        record.push(
+            RunRecord::new().param("d", d).param("regime", requirement).metric("p_high", p_high),
+        );
+    }
+    println!("{}", table.render());
+    let low_err = record
+        .runs
+        .iter()
+        .filter(|r| r.params["d"].parse::<f64>().unwrap() <= 0.01)
+        .map(|r| r.metrics["p_high"])
+        .fold(0.0f64, f64::max);
+    let high_err = record
+        .runs
+        .iter()
+        .filter(|r| r.params["d"].parse::<f64>().unwrap() >= 1.0)
+        .map(|r| 1.0 - r.metrics["p_high"])
+        .fold(0.0f64, f64::max);
+    record.note(format!("max P(High) in the Low regime: {low_err:.4}"));
+    record.note(format!("max P(Low) in the High regime: {high_err:.4}"));
+    print_notes(&record);
+    record
+}
+
+/// E12 — S2 calibration: how the Decay/EED/MIS constants trade reliability
+/// for time at simulation scale.
+pub fn e12_calibration(scale: Scale) -> ExperimentRecord {
+    let claim = "S2 calibration: constants vs empirical failure rates";
+    banner("E12", claim);
+    let mut record = ExperimentRecord::new("E12", claim);
+    let trials = scale.trials() / 4;
+
+    // (a) EED separation vs block length C.
+    let mut table = Table::new(["C (steps/log n)", "P(High | d=4)", "P(High | d=0.005)"]);
+    for &c in &[2u32, 4, 8, 16] {
+        let config = EedConfig { c_steps: c, ..EedConfig::default() };
+        let hi = eed_high_prob(4.0, trials, config, 31);
+        let lo = eed_high_prob(0.005, trials, config, 77);
+        table.row([c.to_string(), f3(hi), f3(lo)]);
+        record.push(
+            RunRecord::new()
+                .param("knob", "eed_c_steps")
+                .param("value", c)
+                .metric("p_high_d4", hi)
+                .metric("p_high_d005", lo),
+        );
+    }
+    println!("{}", table.render());
+
+    // (b) Radio MIS validity vs decay budget.
+    use radionet_core::mis::{run_radio_mis, MisConfig};
+    let mut table = Table::new(["decay_factor", "MIS valid rate", "mean rounds"]);
+    let g = radionet_graph::families::Family::Gnp.instantiate(256, 3);
+    let info = NetInfo::exact(&g);
+    let seeds = (scale.seeds() * 2).max(4);
+    for &f in &[0.5, 0.75, 1.0, 1.5] {
+        let config = MisConfig { decay_factor: f, ..MisConfig::default() };
+        let mut valid = 0usize;
+        let mut rounds = 0.0;
+        for s in 0..seeds {
+            let mut sim = Sim::new(&g, info, 900 + s);
+            let out = run_radio_mis(&mut sim, &config);
+            if out.is_valid(&g) {
+                valid += 1;
+            }
+            rounds += out.rounds as f64;
+        }
+        let rate = valid as f64 / seeds as f64;
+        table.row([f.to_string(), f3(rate), format!("{:.1}", rounds / seeds as f64)]);
+        record.push(
+            RunRecord::new()
+                .param("knob", "mis_decay_factor")
+                .param("value", f)
+                .metric("valid_rate", rate)
+                .metric("mean_rounds", rounds / seeds as f64),
+        );
+    }
+    println!("{}", table.render());
+
+    // (c) Radio partition coverage vs per-phase decay iterations.
+    use radionet_cluster::partition_radio::{run_radio_partition, RadioPartitionConfig};
+    use radionet_graph::independent_set::greedy_mis_min_degree;
+    let mut table = Table::new(["decay iters/phase", "coverage", "steps"]);
+    let case = crate::GraphCase::new(radionet_graph::families::Family::UnitDisk, 512, 5);
+    let mis = greedy_mis_min_degree(&case.graph);
+    let mut flags = vec![false; case.graph.n()];
+    for v in &mis {
+        flags[v.index()] = true;
+    }
+    for &iters in &[1u32, 2, 3] {
+        let config = RadioPartitionConfig {
+            decay_iterations_per_phase: iters,
+            ..RadioPartitionConfig::default()
+        };
+        let mut cov = 0.0;
+        let mut steps = 0.0;
+        for s in 0..scale.seeds() {
+            let mut sim = Sim::new(&case.graph, case.info, 40 + s);
+            let raw = run_radio_partition(&mut sim, &flags, 0.5, config);
+            cov += raw.coverage();
+            steps += raw.report.steps as f64;
+        }
+        let k = scale.seeds() as f64;
+        table.row([iters.to_string(), f3(cov / k), format!("{:.0}", steps / k)]);
+        record.push(
+            RunRecord::new()
+                .param("knob", "partition_decay_iters")
+                .param("value", iters)
+                .metric("coverage", cov / k)
+                .metric("steps", steps / k),
+        );
+    }
+    println!("{}", table.render());
+    record.note("defaults: eed_c_steps=8, mis decay_factor=1.0 (fast: 0.75), 1 decay iter/phase");
+    print_notes(&record);
+    record
+}

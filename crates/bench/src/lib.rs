@@ -1,0 +1,13 @@
+//! The benchmark harness: one experiment per quantitative claim of the
+//! paper (see DESIGN.md §4 for the index). Each experiment is a library
+//! function returning an [`radionet_analysis::ExperimentRecord`] and
+//! printing its Markdown table; the `exp_*` binaries are thin wrappers and
+//! `run_all` regenerates everything (writing JSON records to `results/`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{GraphCase, Scale};

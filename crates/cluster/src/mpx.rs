@@ -1,0 +1,349 @@
+//! Abstract Miller–Peng–Xu clustering: `Partition(β)` and
+//! `Partition(β, MIS)` (paper, Section 2.2).
+//!
+//! Each center `v` draws `δ_v ~ Exp(β)`; each node `u` joins the cluster of
+//! the center minimizing `dist(u, v) − δ_v`. Computed exactly by a
+//! multi-source Dijkstra with initial keys `−δ_v`, in `O((n + m) log n)`.
+//!
+//! This abstract version is the reference implementation: the radio version
+//! ([`crate::partition_radio`]) approximates it under collisions, and the
+//! analysis experiments (E5–E7) evaluate Theorem 2's quantities on it
+//! directly.
+
+use crate::shifts;
+use radionet_graph::{Graph, NodeId};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A clustering of a graph: a partition into center-rooted clusters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// For each node, the index (into [`centers`](Self::centers)) of its
+    /// cluster; `None` only if the node is unreachable from every center.
+    pub cluster_of: Vec<Option<u32>>,
+    /// Cluster index → center node.
+    pub centers: Vec<NodeId>,
+    /// For each node, its hop distance to its cluster center (through any
+    /// shortest `dist(u, v)` path; `u32::MAX` if unclustered).
+    pub dist: Vec<u32>,
+    /// For each node, its predecessor towards the center (`None` for centers
+    /// and unclustered nodes). Follows a shortest path within the cluster.
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl Clustering {
+    /// Number of nonempty clusters (centers can be absorbed by stronger
+    /// shifts, leaving their own cluster empty).
+    pub fn cluster_count(&self) -> usize {
+        let mut nonempty = vec![false; self.centers.len()];
+        for c in self.cluster_of.iter().flatten() {
+            nonempty[*c as usize] = true;
+        }
+        nonempty.iter().filter(|&&x| x).count()
+    }
+
+    /// The maximum hop distance from any clustered node to its center.
+    pub fn radius(&self) -> u32 {
+        self.dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    }
+
+    /// Mean hop distance to the center over clustered nodes.
+    pub fn mean_dist(&self) -> f64 {
+        let ds: Vec<u32> = self.dist.iter().copied().filter(|&d| d != u32::MAX).collect();
+        if ds.is_empty() {
+            0.0
+        } else {
+            ds.iter().map(|&d| d as f64).sum::<f64>() / ds.len() as f64
+        }
+    }
+
+    /// Members of each cluster, indexed by cluster id.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.centers.len()];
+        for (i, c) in self.cluster_of.iter().enumerate() {
+            if let Some(c) = c {
+                out[*c as usize].push(NodeId::new(i));
+            }
+        }
+        out
+    }
+
+    /// Checks the partition invariants: parents are cluster-internal edges
+    /// decreasing `dist` by one, and each center either owns its cluster
+    /// (distance 0) or was absorbed by a stronger shift — in which case its
+    /// cluster must be empty (no node can prefer an absorbed center; see the
+    /// triangle-inequality argument in the module docs).
+    pub fn validate(&self, g: &Graph) -> bool {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for c in self.cluster_of.iter().flatten() {
+            sizes[*c as usize] += 1;
+        }
+        for (ci, &c) in self.centers.iter().enumerate() {
+            let owns = self.cluster_of[c.index()] == Some(ci as u32);
+            if owns && self.dist[c.index()] != 0 {
+                return false;
+            }
+            if !owns && sizes[ci] != 0 {
+                return false;
+            }
+        }
+        for v in g.nodes() {
+            match (self.cluster_of[v.index()], self.parent[v.index()]) {
+                (None, _) => {}
+                (Some(_), None) => {
+                    if self.dist[v.index()] != 0 {
+                        return false;
+                    }
+                }
+                (Some(c), Some(p)) => {
+                    if !g.has_edge(v, p)
+                        || self.cluster_of[p.index()] != Some(c)
+                        || self.dist[p.index()] + 1 != self.dist[v.index()]
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exponentially-shifted start keys for a center set.
+#[derive(Clone, Debug)]
+pub struct Shifts {
+    /// Center nodes in the order their shifts were drawn.
+    pub centers: Vec<NodeId>,
+    /// `δ_v` per center (parallel to `centers`).
+    pub deltas: Vec<f64>,
+}
+
+/// Draws `δ_v ~ Exp(β)` for every center (optionally clamped; see
+/// [`shifts::sample_exp_clamped`]).
+pub fn draw_shifts<R: Rng + ?Sized>(
+    centers: &[NodeId],
+    beta: f64,
+    cap: Option<f64>,
+    rng: &mut R,
+) -> Shifts {
+    let deltas = centers
+        .iter()
+        .map(|_| match cap {
+            Some(c) => shifts::sample_exp_clamped(beta, c, rng),
+            None => shifts::sample_exp(beta, rng),
+        })
+        .collect();
+    Shifts { centers: centers.to_vec(), deltas }
+}
+
+/// `Partition(β, C)` with freshly drawn shifts: the paper's clustering with
+/// an arbitrary center set `C` (use the MIS for `Partition(β, MIS)`, or all
+/// nodes for the \[CD21\] baseline).
+///
+/// # Panics
+///
+/// Panics if `centers` is empty while the graph is not, or `β ≤ 0`.
+pub fn partition<R: Rng + ?Sized>(
+    g: &Graph,
+    centers: &[NodeId],
+    beta: f64,
+    rng: &mut R,
+) -> Clustering {
+    let shifts = draw_shifts(centers, beta, None, rng);
+    partition_with_shifts(g, &shifts)
+}
+
+/// `Partition` with caller-provided shifts (deterministic core; the radio
+/// implementation and tests share it).
+///
+/// # Panics
+///
+/// Panics if `centers` is empty while the graph is not.
+pub fn partition_with_shifts(g: &Graph, shifts: &Shifts) -> Clustering {
+    assert!(
+        !shifts.centers.is_empty() || g.n() == 0,
+        "partition needs at least one center"
+    );
+    let n = g.n();
+    // Multi-source Dijkstra over keys dist(u, v) - δ_v. All edges weigh 1 but
+    // sources start at distinct negative keys, so a heap is required.
+    let mut key = vec![f64::INFINITY; n];
+    let mut cluster = vec![None; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(HeapKey, u32)>> = BinaryHeap::new();
+
+    for (ci, (&c, &delta)) in shifts.centers.iter().zip(&shifts.deltas).enumerate() {
+        let k = -delta;
+        // Duplicate centers: keep the better (smaller) key.
+        if k < key[c.index()] {
+            key[c.index()] = k;
+            cluster[c.index()] = Some(ci as u32);
+            dist[c.index()] = 0;
+            parent[c.index()] = None;
+            heap.push(Reverse((HeapKey(k), c.index() as u32)));
+        }
+    }
+    while let Some(Reverse((HeapKey(k), vi))) = heap.pop() {
+        let v = NodeId::new(vi as usize);
+        if settled[v.index()] || k > key[v.index()] {
+            continue;
+        }
+        settled[v.index()] = true;
+        for &w in g.neighbors(v) {
+            let nk = k + 1.0;
+            if nk < key[w.index()] {
+                key[w.index()] = nk;
+                cluster[w.index()] = cluster[v.index()];
+                dist[w.index()] = dist[v.index()] + 1;
+                parent[w.index()] = Some(v);
+                heap.push(Reverse((HeapKey(nk), w.index() as u32)));
+            }
+        }
+    }
+    Clustering { cluster_of: cluster, centers: shifts.centers.clone(), dist, parent }
+}
+
+/// Total-ordered f64 key for the Dijkstra heap (keys are never NaN).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HeapKey(f64);
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+    use radionet_graph::independent_set::greedy_mis_min_degree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_center_claims_component() {
+        let g = generators::path(10);
+        let shifts = Shifts { centers: vec![g.node(0)], deltas: vec![0.7] };
+        let c = partition_with_shifts(&g, &shifts);
+        assert!(c.validate(&g));
+        assert_eq!(c.cluster_count(), 1);
+        assert!(c.cluster_of.iter().all(|&x| x == Some(0)));
+        assert_eq!(c.dist[9], 9);
+        assert_eq!(c.radius(), 9);
+    }
+
+    #[test]
+    fn tie_free_two_centers_split_by_shift() {
+        // Path of 7, centers at both ends. δ_0 = 2.5, δ_6 = 0.0:
+        // node u joins 0 iff u - 2.5 < (6 - u), i.e. u < 4.25 → nodes 0..4.
+        let g = generators::path(7);
+        let shifts = Shifts { centers: vec![g.node(0), g.node(6)], deltas: vec![2.5, 0.0] };
+        let c = partition_with_shifts(&g, &shifts);
+        assert!(c.validate(&g));
+        for u in 0..=4 {
+            assert_eq!(c.cluster_of[u], Some(0), "node {u}");
+        }
+        for u in 5..=6 {
+            assert_eq!(c.cluster_of[u], Some(1), "node {u}");
+        }
+    }
+
+    #[test]
+    fn assignment_minimizes_shifted_distance() {
+        // Brute-force check on random graphs: every node's assigned center
+        // achieves min over centers of dist(u, v) − δ_v.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let g = generators::connected_gnp(40, 0.08, &mut rng);
+            let mis = greedy_mis_min_degree(&g);
+            let shifts = draw_shifts(&mis, 0.3, None, &mut rng);
+            let c = partition_with_shifts(&g, &shifts);
+            assert!(c.validate(&g));
+            for u in g.nodes() {
+                let assigned = c.cluster_of[u.index()].unwrap() as usize;
+                let d = radionet_graph::traversal::bfs_distances(&g, u);
+                let key_of = |ci: usize| {
+                    d[shifts.centers[ci].index()] as f64 - shifts.deltas[ci]
+                };
+                let best =
+                    (0..mis.len()).map(key_of).fold(f64::INFINITY, f64::min);
+                assert!(
+                    key_of(assigned) - best < 1e-9,
+                    "node {u:?} assigned {assigned} key {} best {best}",
+                    key_of(assigned)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radius_bounded_by_log_n_over_beta() {
+        // MPX: cluster radius ≤ max δ + O(1) ≈ O(log n / β) whp. With the
+        // clamp the bound is deterministic: radius ≤ cap + 1.
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::grid2d(20, 20);
+        let centers: Vec<_> = g.nodes().collect();
+        let beta = 0.5;
+        let cap = crate::shifts::delta_cap(beta, g.n(), 2.0);
+        let shifts = draw_shifts(&centers, beta, Some(cap), &mut rng);
+        let c = partition_with_shifts(&g, &shifts);
+        assert!(c.validate(&g));
+        assert!((c.radius() as f64) <= cap + 1.0, "radius {} cap {cap}", c.radius());
+    }
+
+    #[test]
+    fn all_nodes_centers_zero_shift_is_identity() {
+        let g = generators::cycle(8);
+        let centers: Vec<_> = g.nodes().collect();
+        let shifts = Shifts { centers: centers.clone(), deltas: vec![0.0; 8] };
+        let c = partition_with_shifts(&g, &shifts);
+        // Every node has key -0 at itself, so every node is its own cluster.
+        assert_eq!(c.radius(), 0);
+        assert_eq!(c.mean_dist(), 0.0);
+        for v in g.nodes() {
+            assert_eq!(c.cluster_of[v.index()], Some(v.index() as u32));
+        }
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::connected_gnp(60, 0.08, &mut rng);
+        let mis = greedy_mis_min_degree(&g);
+        let c = partition(&g, &mis, 0.4, &mut rng);
+        let members = c.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, g.n());
+        assert!(c.validate(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn empty_centers_rejected() {
+        let g = generators::path(3);
+        let shifts = Shifts { centers: vec![], deltas: vec![] };
+        let _ = partition_with_shifts(&g, &shifts);
+    }
+
+    #[test]
+    fn disconnected_leaves_unreached_unclustered() {
+        let g = radionet_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let shifts = Shifts { centers: vec![g.node(0)], deltas: vec![1.0] };
+        let c = partition_with_shifts(&g, &shifts);
+        assert_eq!(c.cluster_of[2], None);
+        assert_eq!(c.dist[2], u32::MAX);
+        assert!(c.validate(&g));
+    }
+}

@@ -1,0 +1,100 @@
+//! Exponential random shifts (paper, Section 2.2).
+//!
+//! Each cluster center `v` independently draws `δ_v` from an exponential
+//! distribution with parameter `β` (mean `1/β`). Sampled by inverse CDF so
+//! no extra dependency is needed.
+
+use rand::Rng;
+
+/// Draws `δ ~ Exp(β)` (rate `β`, mean `1/β`).
+///
+/// # Panics
+///
+/// Panics unless `β > 0` and finite.
+pub fn sample_exp<R: Rng + ?Sized>(beta: f64, rng: &mut R) -> f64 {
+    assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+    // U ∈ (0, 1]; -ln(U)/β is Exp(β). Guard U = 0.
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / beta
+}
+
+/// Draws `δ ~ Exp(β)` truncated to `[0, cap]` by clamping.
+///
+/// MPX analyses condition on `max_v δ_v = O(log n / β)` (which holds whp);
+/// clamping at `cap` implements that conditioning explicitly so the radio
+/// implementation has a deterministic phase budget.
+///
+/// # Panics
+///
+/// Panics unless `β > 0` and `cap ≥ 0`.
+pub fn sample_exp_clamped<R: Rng + ?Sized>(beta: f64, cap: f64, rng: &mut R) -> f64 {
+    assert!(cap >= 0.0, "cap must be nonnegative");
+    sample_exp(beta, rng).min(cap)
+}
+
+/// The standard clamp `factor · ln(n) / β` (exceeded with probability
+/// `n^{-factor}` per draw).
+pub fn delta_cap(beta: f64, n: usize, factor: f64) -> f64 {
+    factor * (n.max(2) as f64).ln() / beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &beta in &[0.25, 1.0, 4.0] {
+            let k = 20_000;
+            let mean: f64 = (0..k).map(|_| sample_exp(beta, &mut rng)).sum::<f64>() / k as f64;
+            assert!(
+                (mean - 1.0 / beta).abs() < 0.05 / beta,
+                "beta {beta}: mean {mean} vs {}",
+                1.0 / beta
+            );
+        }
+    }
+
+    #[test]
+    fn memoryless_tail() {
+        // P(δ > t) = e^{-βt}: check at t = 1/β (should be e^{-1} ≈ 0.3679).
+        let mut rng = StdRng::seed_from_u64(2);
+        let beta = 0.5;
+        let k = 40_000;
+        let over = (0..k).filter(|_| sample_exp(beta, &mut rng) > 2.0).count();
+        let frac = over as f64 / k as f64;
+        assert!((frac - (-1.0f64).exp()).abs() < 0.01, "tail {frac}");
+    }
+
+    #[test]
+    fn clamped_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(sample_exp_clamped(0.1, 5.0, &mut rng) <= 5.0);
+        }
+    }
+
+    #[test]
+    fn cap_formula() {
+        let c = delta_cap(0.5, 1024, 2.0);
+        assert!((c - 2.0 * (1024f64).ln() / 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn rejects_zero_beta() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_exp(0.0, &mut rng);
+    }
+
+    #[test]
+    fn nonnegative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(sample_exp(2.0, &mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the clustering crate.
+
+use proptest::prelude::*;
+use radionet_cluster::mpx::{draw_shifts, partition_with_shifts, Shifts};
+use radionet_cluster::quantities::{b_param, MisProfile};
+use radionet_cluster::ClusterSchedule;
+use radionet_graph::independent_set::greedy_mis_min_degree;
+use radionet_graph::traversal::bfs_distances;
+use radionet_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..32, proptest::collection::vec((0usize..32, 0usize..32), 0..80)).prop_map(
+        |(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            for i in 1..n {
+                b.add_edge(i - 1, i);
+            }
+            for (u, v) in pairs {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every node's assignment minimizes dist − δ over all centers, and the
+    /// recorded dist equals the true graph distance to the winning center.
+    #[test]
+    fn mpx_assignment_is_argmin(g in arb_connected_graph(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mis = greedy_mis_min_degree(&g);
+        let shifts = draw_shifts(&mis, 0.4, None, &mut rng);
+        let c = partition_with_shifts(&g, &shifts);
+        prop_assert!(c.validate(&g));
+        // Precompute distances from every center.
+        let dists: Vec<Vec<u32>> =
+            shifts.centers.iter().map(|&s| bfs_distances(&g, s)).collect();
+        for u in g.nodes() {
+            let ci = c.cluster_of[u.index()].unwrap() as usize;
+            let key = |i: usize| dists[i][u.index()] as f64 - shifts.deltas[i];
+            let best = (0..shifts.centers.len())
+                .map(key)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(key(ci) - best < 1e-9);
+            prop_assert_eq!(c.dist[u.index()], dists[ci][u.index()]);
+        }
+    }
+
+    /// Zero shifts degenerate to nearest-center Voronoi (by hop distance).
+    #[test]
+    fn zero_shifts_are_voronoi(g in arb_connected_graph()) {
+        let mis = greedy_mis_min_degree(&g);
+        let shifts = Shifts { centers: mis.clone(), deltas: vec![0.0; mis.len()] };
+        let c = partition_with_shifts(&g, &shifts);
+        let nearest = radionet_graph::traversal::bfs_distances_multi(&g, &mis);
+        for u in g.nodes() {
+            prop_assert_eq!(c.dist[u.index()], nearest[u.index()]);
+        }
+        // MIS centers ⇒ every node within distance 1 of some center.
+        prop_assert!(c.radius() <= 1);
+    }
+
+    /// Schedules verify on arbitrary shifted clusterings, and slot counts
+    /// line up with the per-transition color structure.
+    #[test]
+    fn schedule_structure(g in arb_connected_graph(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mis = greedy_mis_min_degree(&g);
+        let shifts = draw_shifts(&mis, 0.25, None, &mut rng);
+        let c = partition_with_shifts(&g, &shifts);
+        let s = ClusterSchedule::build(&g, &c);
+        prop_assert!(s.verify(&g));
+        prop_assert_eq!(s.down.len() as u32, s.depth);
+        prop_assert_eq!(s.up.len() as u32, s.depth);
+        // Every layer-(i+1) node's parent appears in some down slot of
+        // transition i.
+        for v in g.nodes() {
+            let l = s.layer[v.index()];
+            if l != u32::MAX && l > 0 {
+                let p = s.parent[v.index()].unwrap();
+                let in_slots = s.down[(l - 1) as usize]
+                    .iter()
+                    .any(|slot| slot.contains(&p));
+                prop_assert!(in_slots, "parent of {v:?} unscheduled");
+            }
+        }
+    }
+
+    /// Profile quantities: S_β is a weighted mean of distances, so it lies
+    /// within [0, max distance], decreases as β grows, and s_prefix is
+    /// monotone in j.
+    #[test]
+    fn profile_quantities_sane(
+        m in proptest::collection::vec(0u64..50, 1..40),
+        j in 0i64..12,
+    ) {
+        let p = MisProfile::from_counts(m.clone());
+        prop_assume!(p.total() > 0);
+        let max_d = (m.len() - 1) as f64;
+        for &beta in &[0.01, 0.1, 1.0, 4.0] {
+            let s = p.s_beta(beta);
+            prop_assert!((0.0..=max_d + 1e-9).contains(&s));
+        }
+        prop_assert!(p.s_beta(0.01) + 1e-9 >= p.s_beta(1.0));
+        prop_assert!(p.s_prefix(j) <= p.s_prefix(j + 1));
+        prop_assert!(p.s_prefix(60) == p.total());
+    }
+
+    /// b_param brackets hold for arbitrary D, α.
+    #[test]
+    fn b_param_brackets(d in 2u32..1_000_000, alpha_exp in 0u32..20) {
+        let alpha = 2f64.powi(alpha_exp as i32).max(1.0);
+        let b = b_param(d, alpha) as f64;
+        let lda = (alpha.max(2.0).ln() / (d as f64).ln()).max(1.0);
+        prop_assert!(b >= 2.0);
+        prop_assert!(b >= 4.0 * lda - 1e-9);
+        prop_assert!(b <= 8.0 * lda + 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's primary contribution, implemented over the radio simulator:
+//!
+//! * [`mis`] — **Radio MIS** (Algorithm 7, Theorem 14): the first maximal-
+//!   independent-set algorithm for general-graph radio networks,
+//!   `O(log³ n)` time-steps whp;
+//! * [`icp`] — Intra-Cluster Propagation (Algorithm 9) and its background
+//!   process (Algorithm 10) as schedule-driven sequencers;
+//! * [`compete`] — **`Compete(S)`** (Algorithm 2, Theorem 6): message
+//!   competition in `O(D log_D α + log^{O(1)} n)` time-steps, with the
+//!   \[CD21\] configuration available as an ablation;
+//! * [`broadcast`] — broadcasting (Theorem 7);
+//! * [`leader_election`] — leader election (Algorithm 3, Theorem 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use radionet_core::broadcast::run_broadcast;
+//! use radionet_core::compete::CompeteConfig;
+//! use radionet_graph::generators;
+//! use radionet_sim::{NetInfo, Sim};
+//!
+//! let g = generators::grid2d(6, 6);
+//! let mut sim = Sim::new(&g, NetInfo::exact(&g), 7);
+//! let out = run_broadcast(&mut sim, g.node(0), 42, &CompeteConfig::default());
+//! assert!(out.completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod compete;
+pub mod icp;
+pub mod leader_election;
+pub mod mis;
+
+pub use broadcast::{run_broadcast, BroadcastOutcome};
+pub use compete::{run_compete, CenterMode, CompeteConfig, CompeteOutcome, IcpLenMode};
+pub use leader_election::{run_leader_election, LeaderElectionConfig, LeaderElectionOutcome};
+pub use mis::{run_radio_mis, MisConfig, MisOutcome, MisStatus};

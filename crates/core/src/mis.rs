@@ -1,0 +1,492 @@
+//! Radio MIS (paper, Algorithm 7; Theorem 14): the first maximal-
+//! independent-set algorithm for general-graph radio networks, running in
+//! `O(log³ n)` time-steps whp.
+//!
+//! The algorithm is Ghaffari's LOCAL-model MIS (Algorithm 4) with each round
+//! simulated by `O(log² n)` radio steps:
+//!
+//! 1. every active node marks itself with probability `p_t(v)`;
+//! 2. marked nodes run `O(log n)` iterations of Decay announcing the mark;
+//! 3. a node that marked itself and heard no marked neighbor **joins the
+//!    MIS**;
+//! 4. MIS members run `O(log n)` iterations of Decay announcing membership;
+//!    hearers become *dominated* and leave the protocol;
+//! 5. all active nodes run `EstimateEffectiveDegree`; verdict High halves
+//!    `p`, Low doubles it (capped at 1/2).
+//!
+//! Instrumentation for the golden-round experiments (E10) optionally records
+//! every node's `(p_t, marked, verdict)` trajectory.
+
+use radionet_graph::independent_set::is_maximal_independent_set;
+use radionet_graph::{Graph, NodeId};
+use radionet_primitives::decay::DecaySchedule;
+use radionet_primitives::effective_degree::{EedConfig, EedCounter, EedVerdict};
+use radionet_sim::{Action, NodeCtx, Protocol, Sim};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of Radio MIS (paper constants with S2 calibration knobs).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MisConfig {
+    /// Round cap = `round_cap_factor · log n` (the paper's `13c log n`).
+    pub round_cap_factor: f64,
+    /// Decay iterations per announcement phase = `decay_factor · log n`
+    /// (Claim 10's `O(log n)`).
+    pub decay_factor: f64,
+    /// EstimateEffectiveDegree parameters.
+    pub eed: EedConfig,
+    /// Initial desire level `p_0` (paper: 1/2).
+    pub p0: f64,
+    /// Record per-round trajectories for the golden-round analysis (E10).
+    pub record_history: bool,
+}
+
+impl Default for MisConfig {
+    fn default() -> Self {
+        MisConfig {
+            round_cap_factor: 13.0,
+            decay_factor: 1.0,
+            eed: EedConfig::default(),
+            p0: 0.5,
+            record_history: false,
+        }
+    }
+}
+
+impl MisConfig {
+    /// A cheaper profile for tests and inner loops: fewer rounds, lighter
+    /// decay; still reliable at `n ≤ 2¹⁰` empirically (E12 calibrates).
+    pub fn fast() -> Self {
+        MisConfig { round_cap_factor: 8.0, decay_factor: 0.75, ..Self::default() }
+    }
+
+    /// Tiny-network floor on `log n`: the whp analysis needs `log n` above
+    /// a constant, so nodes round their `n` estimate up to 16 — legitimate
+    /// in the ad-hoc model, where `n` is only promised as an upper estimate
+    /// (paper, Section 1.1). Without it, two adjacent marked nodes on a
+    /// 4-node network miss each other's announcements a constant fraction
+    /// of rounds.
+    pub fn effective_log_n(log_n: u32) -> u32 {
+        log_n.max(4)
+    }
+
+    /// Steps in one announcement (Decay) segment.
+    pub fn decay_steps(&self, log_n: u32) -> u64 {
+        let iters = (self.decay_factor * log_n.max(1) as f64).ceil().max(1.0) as u64;
+        iters * log_n.max(1) as u64
+    }
+
+    /// Steps in one full round (mark decay + MIS decay + EED).
+    pub fn round_steps(&self, log_n: u32) -> u64 {
+        2 * self.decay_steps(log_n) + self.eed.total_steps(log_n)
+    }
+
+    /// Maximum number of rounds.
+    pub fn round_cap(&self, log_n: u32) -> u64 {
+        (self.round_cap_factor * log_n.max(1) as f64).ceil().max(1.0) as u64
+    }
+
+    /// Total step budget: `round_cap · round_steps = O(log³ n)`.
+    pub fn total_steps(&self, log_n: u32) -> u64 {
+        self.round_cap(log_n) * self.round_steps(log_n)
+    }
+}
+
+/// Final status of a node after Radio MIS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MisStatus {
+    /// Still undecided when the round cap was reached (a failed run).
+    Active,
+    /// Joined the maximal independent set.
+    InMis,
+    /// Has a neighbor in the MIS.
+    Dominated,
+}
+
+/// One node's per-round trajectory entry (E10 instrumentation).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MisRoundRecord {
+    /// Desire level at the start of the round.
+    pub p: f64,
+    /// Whether the node marked itself.
+    pub marked: bool,
+    /// EED verdict (`None` if the node was removed mid-round).
+    pub verdict: Option<EedVerdict>,
+    /// Status at the end of the round.
+    pub status: MisStatus,
+}
+
+/// Over-the-air messages of Radio MIS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MisMsg {
+    /// "I marked myself this round."
+    Marked,
+    /// "I am in the MIS."
+    InMis,
+    /// EstimateEffectiveDegree probe.
+    Probe,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    MarkDecay,
+    MisDecay,
+    Eed,
+}
+
+/// Per-node protocol state of Radio MIS.
+#[derive(Clone, Debug)]
+pub struct MisNode {
+    config: MisConfig,
+    schedule: DecaySchedule,
+    log_n: u32,
+    status: MisStatus,
+    p: f64,
+    marked: bool,
+    heard_marked: bool,
+    eed: EedCounter,
+    eed_heard: bool,
+    prev_was_eed: bool,
+    /// Round the node joined the MIS (for staggered announcements it keeps
+    /// announcing in every later round's MisDecay segment).
+    history: Vec<MisRoundRecord>,
+    elapsed: u64,
+}
+
+impl MisNode {
+    /// Fresh node state (applies the [`MisConfig::effective_log_n`] floor).
+    pub fn new(config: MisConfig, log_n: u32) -> Self {
+        let log_n = MisConfig::effective_log_n(log_n);
+        MisNode {
+            config,
+            schedule: DecaySchedule::new(log_n),
+            log_n,
+            status: MisStatus::Active,
+            p: config.p0,
+            marked: false,
+            heard_marked: false,
+            eed: EedCounter::new(config.eed, log_n),
+            eed_heard: false,
+            prev_was_eed: false,
+            history: Vec::new(),
+            elapsed: 0,
+        }
+    }
+
+    /// Final status.
+    pub fn status(&self) -> MisStatus {
+        self.status
+    }
+
+    /// Per-round trajectory (empty unless `record_history`).
+    pub fn history(&self) -> &[MisRoundRecord] {
+        &self.history
+    }
+
+    fn segment(&self, t_in_round: u64) -> Segment {
+        let d = self.config.decay_steps(self.log_n);
+        if t_in_round < d {
+            Segment::MarkDecay
+        } else if t_in_round < 2 * d {
+            Segment::MisDecay
+        } else {
+            Segment::Eed
+        }
+    }
+
+    fn start_round(&mut self, rng: &mut impl Rng) {
+        if self.config.record_history && self.status == MisStatus::Active {
+            // The entry is completed at round end; push the opening snapshot.
+            self.history.push(MisRoundRecord {
+                p: self.p,
+                marked: false,
+                verdict: None,
+                status: self.status,
+            });
+        }
+        self.marked = self.status == MisStatus::Active && rng.gen_bool(self.p.clamp(0.0, 1.0));
+        if let (true, Some(rec)) = (self.config.record_history, self.history.last_mut()) {
+            if self.status == MisStatus::Active {
+                rec.marked = self.marked;
+            }
+        }
+        self.heard_marked = false;
+        self.eed = EedCounter::new(self.config.eed, self.log_n);
+        self.eed_heard = false;
+        self.prev_was_eed = false;
+    }
+
+    fn finish_round(&mut self) {
+        if self.status == MisStatus::Active {
+            match self.eed.verdict() {
+                Some(EedVerdict::High) => self.p /= 2.0,
+                Some(EedVerdict::Low) => self.p = (2.0 * self.p).min(0.5),
+                None => {}
+            }
+        }
+        if self.config.record_history {
+            if let Some(rec) = self.history.last_mut() {
+                if rec.verdict.is_none() {
+                    rec.verdict = self.eed.verdict();
+                }
+                rec.status = self.status;
+            }
+        }
+    }
+}
+
+impl Protocol for MisNode {
+    type Msg = MisMsg;
+
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<MisMsg> {
+        let t = ctx.time;
+        self.elapsed = t;
+        let round_steps = self.config.round_steps(self.log_n);
+        let t_in_round = t % round_steps;
+        let d = self.config.decay_steps(self.log_n);
+
+        // Settle the previous EED step before anything else.
+        if self.prev_was_eed && !self.eed.finished() {
+            let heard = self.eed_heard;
+            self.eed_heard = false;
+            self.eed.note(heard);
+        }
+        self.prev_was_eed = false;
+
+        if t_in_round == 0 {
+            if t > 0 {
+                self.finish_round();
+            }
+            self.start_round(ctx.rng);
+        }
+        // Join decision at the MarkDecay → MisDecay boundary.
+        if t_in_round == d && self.status == MisStatus::Active && self.marked && !self.heard_marked
+        {
+            self.status = MisStatus::InMis;
+        }
+
+        let seg = self.segment(t_in_round);
+        match (seg, self.status) {
+            (Segment::MarkDecay, MisStatus::Active) => {
+                let local = t_in_round;
+                if self.marked && ctx.rng.gen_bool(self.schedule.prob(local)) {
+                    Action::Transmit(MisMsg::Marked)
+                } else {
+                    Action::Listen
+                }
+            }
+            (Segment::MisDecay, MisStatus::InMis) => {
+                let local = t_in_round - d;
+                if ctx.rng.gen_bool(self.schedule.prob(local)) {
+                    Action::Transmit(MisMsg::InMis)
+                } else {
+                    Action::Listen
+                }
+            }
+            (Segment::MisDecay, MisStatus::Active) => Action::Listen,
+            (Segment::Eed, MisStatus::Active) => {
+                self.prev_was_eed = true;
+                if self.eed.finished() {
+                    return Action::Listen;
+                }
+                if ctx.rng.gen_bool(self.eed.transmit_prob(self.p)) {
+                    Action::Transmit(MisMsg::Probe)
+                } else {
+                    Action::Listen
+                }
+            }
+            _ => Action::Idle,
+        }
+    }
+
+    fn on_hear(&mut self, ctx: &mut NodeCtx<'_>, msg: &MisMsg) {
+        let round_steps = self.config.round_steps(self.log_n);
+        let t_in_round = ctx.time % round_steps;
+        match (self.segment(t_in_round), msg) {
+            (Segment::MarkDecay, MisMsg::Marked) => self.heard_marked = true,
+            (Segment::MisDecay, MisMsg::InMis) => {
+                if self.status == MisStatus::Active {
+                    self.status = MisStatus::Dominated;
+                }
+            }
+            (Segment::Eed, MisMsg::Probe) => self.eed_heard = true,
+            // Segment-inconsistent messages cannot occur (global sync);
+            // ignore defensively.
+            _ => {}
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        // A node's own work ends only when it leaves the protocol; MIS
+        // members keep announcing, so the phase ends when no Active node
+        // remains — approximated locally by "not Active". (MIS members
+        // report done so the engine can stop; their announcements in
+        // *earlier* segments already dominated all neighbors whp.)
+        self.status != MisStatus::Active
+    }
+}
+
+/// Outcome of a Radio MIS run.
+#[derive(Clone, Debug)]
+pub struct MisOutcome {
+    /// Final per-node statuses.
+    pub status: Vec<MisStatus>,
+    /// Simulated steps consumed.
+    pub steps: u64,
+    /// Rounds elapsed (ceiling of steps / round length).
+    pub rounds: u64,
+    /// Whether every node was decided before the round cap.
+    pub complete: bool,
+    /// Per-node trajectories (empty unless `record_history`).
+    pub history: Vec<Vec<MisRoundRecord>>,
+}
+
+impl MisOutcome {
+    /// The MIS members.
+    pub fn mis_nodes(&self) -> Vec<NodeId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == MisStatus::InMis)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Per-node membership flags.
+    pub fn mis_flags(&self) -> Vec<bool> {
+        self.status.iter().map(|s| *s == MisStatus::InMis).collect()
+    }
+
+    /// Whether the output is a valid maximal independent set of `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        self.complete && is_maximal_independent_set(g, &self.mis_nodes())
+    }
+}
+
+/// Runs Radio MIS on the simulator (consumes `O(log³ n)` simulated steps).
+pub fn run_radio_mis(sim: &mut Sim<'_>, config: &MisConfig) -> MisOutcome {
+    let info = *sim.info();
+    let log_n = MisConfig::effective_log_n(info.log_n());
+    let mut states: Vec<MisNode> =
+        (0..sim.graph().n()).map(|_| MisNode::new(*config, log_n)).collect();
+    let report = sim.run_phase(&mut states, config.total_steps(log_n));
+    let round_steps = config.round_steps(log_n);
+    MisOutcome {
+        status: states.iter().map(|s| s.status()).collect(),
+        steps: report.steps,
+        rounds: report.steps.div_ceil(round_steps.max(1)),
+        complete: report.completed,
+        history: if config.record_history {
+            states.into_iter().map(|s| s.history).collect()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+    use radionet_sim::NetInfo;
+
+    fn mis_on(g: &Graph, seed: u64) -> MisOutcome {
+        let mut sim = Sim::new(g, NetInfo::exact(g), seed);
+        run_radio_mis(&mut sim, &MisConfig::fast())
+    }
+
+    #[test]
+    fn config_budget_is_log_cubed() {
+        let c = MisConfig::default();
+        let l = 10u32;
+        let per_round = c.round_steps(l) as f64;
+        // Round = 2·(log² n) + C·log²n-ish: polynomial in log n of degree 2.
+        assert!(per_round >= (l * l) as f64);
+        assert!(per_round <= 40.0 * (l * l) as f64);
+        assert_eq!(c.total_steps(l), c.round_cap(l) * c.round_steps(l));
+    }
+
+    #[test]
+    fn valid_mis_on_paths_and_grids() {
+        for (g, seed) in [
+            (generators::path(32), 1u64),
+            (generators::grid2d(8, 8), 2),
+            (generators::cycle(30), 3),
+        ] {
+            let out = mis_on(&g, seed);
+            assert!(out.complete, "{g:?} incomplete after {} rounds", out.rounds);
+            assert!(out.is_valid(&g), "{g:?} invalid MIS");
+        }
+    }
+
+    #[test]
+    fn valid_mis_on_clique_and_star() {
+        // Clique: MIS is a single node. Star: either the hub or all leaves.
+        let g = generators::complete(24);
+        let out = mis_on(&g, 4);
+        assert!(out.is_valid(&g));
+        assert_eq!(out.mis_nodes().len(), 1);
+
+        let g = generators::star(24);
+        let out = mis_on(&g, 5);
+        assert!(out.is_valid(&g));
+        let k = out.mis_nodes().len();
+        assert!(k == 1 || k == 23, "star MIS size {k}");
+    }
+
+    #[test]
+    fn valid_mis_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let g = generators::connected_gnp(64, 0.08, &mut rng);
+            let out = mis_on(&g, trial);
+            assert!(out.is_valid(&g), "trial {trial} invalid");
+        }
+    }
+
+    #[test]
+    fn valid_mis_on_udg() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let inst = generators::unit_disk_in_square(120, 6.0, &mut rng);
+        let out = mis_on(&inst.graph, 9);
+        assert!(out.is_valid(&inst.graph));
+    }
+
+    #[test]
+    fn isolated_nodes_join() {
+        // MIS does not need connectivity (paper §1.2): isolated nodes must
+        // all end up in the MIS.
+        let g = Graph::from_edges(5, [(0, 1)]).unwrap();
+        let out = mis_on(&g, 6);
+        assert!(out.is_valid(&g));
+        let flags = out.mis_flags();
+        assert!(flags[2] && flags[3] && flags[4]);
+    }
+
+    #[test]
+    fn history_recorded_when_enabled() {
+        let g = generators::grid2d(4, 4);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 3);
+        let cfg = MisConfig { record_history: true, ..MisConfig::fast() };
+        let out = run_radio_mis(&mut sim, &cfg);
+        assert!(out.complete);
+        assert_eq!(out.history.len(), g.n());
+        // Every decided node has at least one round recorded, with sane p.
+        for h in &out.history {
+            assert!(!h.is_empty());
+            assert!(h.iter().all(|r| r.p > 0.0 && r.p <= 0.5));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::grid2d(6, 6);
+        let a = mis_on(&g, 42).mis_flags();
+        let b = mis_on(&g, 42).mis_flags();
+        assert_eq!(a, b);
+    }
+
+    use radionet_graph::Graph;
+}

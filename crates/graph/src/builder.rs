@@ -1,0 +1,161 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Builder for [`Graph`].
+///
+/// Collects edges and produces a deduplicated CSR graph. Self-loops are
+/// rejected; duplicate edges are merged.
+///
+/// ```
+/// use radionet_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "graph too large");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is `>= n`. Use
+    /// [`try_add_edge`](Self::try_add_edge) for fallible insertion.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.try_add_edge(u, v).expect("invalid edge");
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if u >= self.n || v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u.max(v), n: self.n });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32));
+        Ok(self)
+    }
+
+    /// Adds every edge in `iter`; panics on the first invalid edge.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Finalizes the graph, merging duplicate edges.
+    pub fn build(&self) -> Graph {
+        let n = self.n;
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![NodeId::new(0); acc as usize];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = NodeId::new(v as usize);
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = NodeId::new(u as usize);
+            cursor[v as usize] += 1;
+        }
+        // Each adjacency list is already sorted because edges were sorted by
+        // (min, max) and emitted in order — but the v-side insertions arrive
+        // ordered by u, which is ascending, so both sides are sorted.
+        debug_assert!((0..n).all(|i| {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            neighbors[lo..hi].windows(2).all(|w| w[0] < w[1])
+        }));
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(g.node(0)), 1);
+        assert_eq!(g.degree(g.node(1)), 2);
+    }
+
+    #[test]
+    fn builder_reusable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build();
+        b.add_edge(1, 2);
+        let g2 = b.build();
+        assert_eq!(g1.m(), 1);
+        assert_eq!(g2.m(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn add_edge_panics_on_self_loop() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    fn try_add_edge_errors() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.try_add_edge(0, 0), Err(GraphError::SelfLoop { node: 0 })));
+        assert!(matches!(
+            b.try_add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn adjacency_sorted_after_build() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(5, 0), (3, 0), (0, 4), (0, 1), (2, 0)]);
+        let g = b.build();
+        let ns: Vec<usize> = g.neighbors(g.node(0)).iter().map(|v| v.index()).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4, 5]);
+    }
+}

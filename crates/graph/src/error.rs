@@ -1,0 +1,59 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `{v, v}` was supplied; the radio model has no self-loops.
+    SelfLoop {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An edge endpoint was not in `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An operation requiring a connected graph was given a disconnected one.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(GraphError::SelfLoop { node: 3 }.to_string(), "self-loop at node 3");
+        assert_eq!(
+            GraphError::NodeOutOfRange { node: 9, n: 4 }.to_string(),
+            "node 9 out of range for graph with 4 nodes"
+        );
+        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

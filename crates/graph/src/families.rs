@@ -1,0 +1,280 @@
+//! A serde-able catalogue of named graph families for experiments.
+//!
+//! The paper's headline comparison is between **geometric-derived** classes
+//! (growth-bounded, `α = poly(D)`) and **general** graphs (`α` up to `Θ(n)`).
+//! [`Family`] names one instantiable family per experiment row; the bench
+//! harness sweeps `n` and a seed and gets a connected graph plus its
+//! geometric classification.
+
+use crate::generators;
+use crate::traversal;
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Named graph families used across the experiment suite.
+///
+/// Each family maps `(n, seed)` to a **connected** graph of roughly `n`
+/// nodes (exact size may be rounded, e.g. to a square grid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Family {
+    /// Path `P_n`: the maximum-diameter extreme.
+    Path,
+    /// Cycle `C_n`.
+    Cycle,
+    /// Square grid (√n × √n): growth-bounded, `α = Θ(n) = Θ(D²)`.
+    Grid,
+    /// Complete graph `K_n`: `α = 1`, the MIS lower-bound instance.
+    Clique,
+    /// Star: `α = n − 1`, `D = 2`.
+    Star,
+    /// Hypercube `Q_{log n}`: `D = log n`, `α = n/2` — strongly non-geometric.
+    Hypercube,
+    /// Spider with `√n` legs of length `√n`: `α = Θ(n)`, `D = Θ(√n)`.
+    Spider,
+    /// Balanced binary tree.
+    BinaryTree,
+    /// Random recursive tree: `D = Θ(log n)`, `α = Θ(n)`.
+    RandomTree,
+    /// Connected Erdős–Rényi with expected degree ≈ 8: the "general graph".
+    Gnp,
+    /// Sparser connected Erdős–Rényi (expected degree ≈ 3): larger diameter.
+    GnpSparse,
+    /// Unit disk graph, constant density (expected degree ≈ 10).
+    UnitDisk,
+    /// Quasi unit disk graph, `R/r = 2`, gray-zone probability 0.5.
+    QuasiUnitDisk,
+    /// Unit ball graph in 3D Euclidean space, constant density.
+    UnitBall3,
+    /// Undirected geometric radio network, range ratio 2.
+    GeometricRadio,
+    /// Random 4-regular graph (configuration model): an expander whp —
+    /// minimum diameter, `α = Θ(n)`.
+    RandomRegular,
+    /// Chung–Lu power-law graph (`γ = 2.5`): heavy-tailed degrees.
+    ChungLu,
+}
+
+impl Family {
+    /// All families, in display order.
+    pub const ALL: [Family; 17] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Grid,
+        Family::Clique,
+        Family::Star,
+        Family::Hypercube,
+        Family::Spider,
+        Family::BinaryTree,
+        Family::RandomTree,
+        Family::Gnp,
+        Family::GnpSparse,
+        Family::UnitDisk,
+        Family::QuasiUnitDisk,
+        Family::UnitBall3,
+        Family::GeometricRadio,
+        Family::RandomRegular,
+        Family::ChungLu,
+    ];
+
+    /// The geometric / growth-bounded families (`α = poly(D)`), where
+    /// Corollary 9 predicts `O(D + polylog n)` broadcast.
+    pub const GROWTH_BOUNDED: [Family; 8] = [
+        Family::Path,
+        Family::Cycle,
+        Family::Grid,
+        Family::UnitDisk,
+        Family::QuasiUnitDisk,
+        Family::UnitBall3,
+        Family::GeometricRadio,
+        Family::Clique,
+    ];
+
+    /// A short stable name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Grid => "grid",
+            Family::Clique => "clique",
+            Family::Star => "star",
+            Family::Hypercube => "hypercube",
+            Family::Spider => "spider",
+            Family::BinaryTree => "binary-tree",
+            Family::RandomTree => "random-tree",
+            Family::Gnp => "gnp",
+            Family::GnpSparse => "gnp-sparse",
+            Family::UnitDisk => "unit-disk",
+            Family::QuasiUnitDisk => "quasi-udg",
+            Family::UnitBall3 => "unit-ball-3d",
+            Family::GeometricRadio => "geo-radio",
+            Family::RandomRegular => "random-regular",
+            Family::ChungLu => "chung-lu",
+        }
+    }
+
+    /// Whether the family is growth-bounded (so `α = poly(D)`).
+    pub fn is_growth_bounded(self) -> bool {
+        Family::GROWTH_BOUNDED.contains(&self)
+    }
+
+    /// Instantiates a connected graph with roughly `n` nodes.
+    ///
+    /// Geometric families retry with densified parameters until connected
+    /// (bounded number of attempts), so the returned graph is always
+    /// connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    pub fn instantiate(self, n: usize, seed: u64) -> Graph {
+        assert!(n >= 4, "families need n >= 4");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        match self {
+            Family::Path => generators::path(n),
+            Family::Cycle => generators::cycle(n),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::grid2d(side, side)
+            }
+            Family::Clique => generators::complete(n),
+            Family::Star => generators::star(n),
+            Family::Hypercube => {
+                let d = (n as f64).log2().round().max(2.0) as u32;
+                generators::hypercube(d)
+            }
+            Family::Spider => {
+                let leg = (n as f64).sqrt().round().max(1.0) as usize;
+                let legs = ((n - 1) / leg).max(1);
+                generators::spider(legs, leg)
+            }
+            Family::BinaryTree => {
+                let levels = ((n + 1) as f64).log2().round().max(2.0) as u32;
+                generators::binary_tree(levels)
+            }
+            Family::RandomTree => generators::random_tree(n, &mut rng),
+            Family::Gnp => {
+                let p = (8.0 / n as f64).min(1.0);
+                generators::connected_gnp(n, p, &mut rng)
+            }
+            Family::GnpSparse => {
+                let p = (3.0 / n as f64).min(1.0);
+                generators::connected_gnp(n, p, &mut rng)
+            }
+            Family::UnitDisk => connected_geometric(n, |rng, side| {
+                generators::unit_disk_in_square(n, side, rng).graph
+            }),
+            Family::QuasiUnitDisk => connected_geometric(n, |rng, side| {
+                generators::quasi_unit_disk_in_square(n, side, 0.5, 1.0, 0.5, rng).graph
+            }),
+            Family::UnitBall3 => connected_geometric3(n),
+            Family::GeometricRadio => connected_geometric(n, |rng, side| {
+                let pts = generators::uniform_points2(n, side, rng);
+                let ranges = generators::geometric::uniform_ranges(n, 0.75, 1.5, rng);
+                generators::geometric_radio_undirected(&pts, &ranges).graph
+            }),
+            Family::RandomRegular => {
+                let n = if n % 2 == 0 { n } else { n + 1 }; // even n·d
+                let g = generators::random::random_regular(n, 4, &mut rng);
+                generators::random::connect_components(&g, &mut rng)
+            }
+            Family::ChungLu => {
+                let g = generators::random::chung_lu(n, 2.5, 6.0, &mut rng);
+                generators::random::connect_components(&g, &mut rng)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Instantiates a 2D geometric family, shrinking the square until connected.
+///
+/// Starts at constant density (expected degree ≈ 10) and densifies by 20%
+/// per failed attempt; panics after 64 attempts (practically unreachable).
+fn connected_geometric<F>(n: usize, mut gen: F) -> Graph
+where
+    F: FnMut(&mut StdRng, f64) -> Graph,
+{
+    // Expected degree ≈ π side⁻²·n... choose side so that n·π/side² ≈ 10.
+    let mut side = (n as f64 * std::f64::consts::PI / 10.0).sqrt();
+    for attempt in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(geo_seed(attempt, n));
+        let g = gen(&mut rng, side);
+        if traversal::is_connected(&g) {
+            return g;
+        }
+        side *= 0.8;
+    }
+    panic!("could not generate a connected geometric graph for n={n}");
+}
+
+fn geo_seed(attempt: u64, n: usize) -> u64 {
+    attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (n as u64)
+}
+
+fn connected_geometric3(n: usize) -> Graph {
+    let mut side = (n as f64 * 4.19 / 12.0).cbrt(); // 4/3·π ≈ 4.19, degree ≈ 12
+    for attempt in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(geo_seed(attempt, n) ^ 0x3d);
+        let g = generators::geometric::unit_ball3_in_cube(n, side, &mut rng).graph;
+        if traversal::is_connected(&g) {
+            return g;
+        }
+        side *= 0.8;
+    }
+    panic!("could not generate a connected 3d geometric graph for n={n}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_instantiate_connected() {
+        for fam in Family::ALL {
+            let g = fam.instantiate(64, 1);
+            assert!(traversal::is_connected(&g), "{fam} not connected");
+            assert!(g.n() >= 15, "{fam} too small: {}", g.n());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for fam in [Family::Gnp, Family::UnitDisk, Family::RandomTree] {
+            let g1 = fam.instantiate(80, 7);
+            let g2 = fam.instantiate(80, 7);
+            assert_eq!(g1, g2, "{fam} not deterministic");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn growth_bounded_subset() {
+        for fam in Family::GROWTH_BOUNDED {
+            assert!(fam.is_growth_bounded());
+        }
+        assert!(!Family::Hypercube.is_growth_bounded());
+        assert!(!Family::Gnp.is_growth_bounded());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for fam in Family::ALL {
+            assert_eq!(fam.to_string(), fam.name());
+        }
+    }
+}

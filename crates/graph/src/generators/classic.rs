@@ -1,0 +1,273 @@
+//! Deterministic graph families.
+//!
+//! These provide the extreme points used throughout the paper's analysis:
+//! cliques (`α = 1`, the lower-bound instances of \[14\]), stars and paths
+//! (used in the Decay analysis), grids (growth-bounded with `α = Θ(n)` but
+//! `α = poly(D)`), hypercubes (small diameter, large `α`), and spiders
+//! (large `α` at small `D` — the separating family for `log_D α` vs
+//! `log_D n`).
+
+use crate::{Graph, GraphBuilder};
+
+/// The path `P_n` (`n ≥ 1`): diameter `n − 1`, `α = ⌈n/2⌉`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i);
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (`n ≥ 3`): diameter `⌊n/2⌋`, `α = ⌊n/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`: diameter 1 (for `n ≥ 2`), `α = 1`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+/// The star `S_n`: node 0 is the hub, nodes `1..n` are leaves.
+/// Diameter 2 (for `n ≥ 3`), `α = n − 1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`: parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for i in 0..a {
+        for j in 0..b_size {
+            b.add_edge(i, a + j);
+        }
+    }
+    b.build()
+}
+
+/// The `w × h` grid: node `(x, y)` is `y * w + x`. Growth-bounded;
+/// diameter `w + h − 2`, `α = ⌈wh/2⌉`.
+pub fn grid2d(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = y * w + x;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes: diameter `d`,
+/// `α = 2^(d−1)`.
+///
+/// # Panics
+///
+/// Panics if `d > 20` (guardrail against accidental huge graphs).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete balanced binary tree with the given number of `levels`
+/// (`levels = 1` is a single node). Node 0 is the root.
+///
+/// # Panics
+///
+/// Panics if `levels` is 0 or `levels > 24`.
+pub fn binary_tree(levels: u32) -> Graph {
+    assert!((1..=24).contains(&levels), "levels must be in 1..=24");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v, (v - 1) / 2);
+    }
+    b.build()
+}
+
+/// A spider (star of paths): `legs` paths of length `leg_len` glued at a
+/// center, `n = 1 + legs·leg_len`. Diameter `2·leg_len`; `α ≈ legs·leg_len/2`
+/// is large while `D` stays small — the family where parametrizing by `α`
+/// versus `n` matters least, and the complement of the UDG story.
+///
+/// # Panics
+///
+/// Panics if `legs == 0` or `leg_len == 0`.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(legs > 0 && leg_len > 0, "spider needs legs and leg length");
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::new(n);
+    for l in 0..legs {
+        let base = 1 + l * leg_len;
+        b.add_edge(0, base);
+        for k in 1..leg_len {
+            b.add_edge(base + k - 1, base + k);
+        }
+    }
+    b.build()
+}
+
+/// A barbell: two `K_k` cliques joined by a path of `bridge` extra nodes.
+/// `n = 2k + bridge`. Mixes `α = Θ(bridge)` with dense ends.
+///
+/// # Panics
+///
+/// Panics if `k < 1`.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    assert!(k >= 1, "barbell needs k >= 1");
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j);
+            b.add_edge(k + bridge + i, k + bridge + j);
+        }
+    }
+    // Bridge path from node k-1 through bridge nodes to node k+bridge.
+    let mut prev = k - 1;
+    for t in 0..bridge {
+        b.add_edge(prev, k + t);
+        prev = k + t;
+    }
+    b.add_edge(prev, k + bridge);
+    b.build()
+}
+
+/// A lollipop: a `K_k` clique with a pendant path of `tail` nodes.
+///
+/// # Panics
+///
+/// Panics if `k < 1`.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 1, "lollipop needs k >= 1");
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j);
+        }
+    }
+    let mut prev = k - 1;
+    for t in 0..tail {
+        b.add_edge(prev, k + t);
+        prev = k + t;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter_exact, is_connected};
+
+    #[test]
+    fn sizes_and_connectivity() {
+        assert_eq!(path(1).n(), 1);
+        assert_eq!(path(10).m(), 9);
+        assert_eq!(cycle(10).m(), 10);
+        assert_eq!(complete(7).m(), 21);
+        assert_eq!(star(8).m(), 7);
+        assert_eq!(complete_bipartite(3, 4).m(), 12);
+        assert_eq!(grid2d(3, 5).n(), 15);
+        assert_eq!(grid2d(3, 5).m(), 2 * 15 - 3 - 5);
+        assert_eq!(hypercube(4).n(), 16);
+        assert_eq!(hypercube(4).m(), 32);
+        assert_eq!(binary_tree(4).n(), 15);
+        assert_eq!(binary_tree(4).m(), 14);
+        assert_eq!(spider(3, 4).n(), 13);
+        assert_eq!(barbell(4, 2).n(), 10);
+        assert_eq!(lollipop(4, 3).n(), 7);
+        for g in [
+            path(10),
+            cycle(10),
+            complete(7),
+            star(8),
+            complete_bipartite(3, 4),
+            grid2d(3, 5),
+            hypercube(4),
+            binary_tree(4),
+            spider(3, 4),
+            barbell(4, 2),
+            lollipop(4, 3),
+        ] {
+            assert!(is_connected(&g), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter_exact(&spider(5, 3)), 6);
+        assert_eq!(diameter_exact(&binary_tree(4)), 6);
+        // Clique interior -> attachment -> 3 bridge nodes -> attachment -> interior.
+        assert_eq!(diameter_exact(&barbell(4, 3)), 6);
+        assert_eq!(diameter_exact(&lollipop(4, 3)), 4);
+        assert_eq!(diameter_exact(&complete_bipartite(3, 4)), 2);
+    }
+
+    #[test]
+    fn grid_node_layout() {
+        let g = grid2d(4, 3);
+        // (1,1) = node 5 has 4 neighbors.
+        assert_eq!(g.degree(g.node(5)), 4);
+        // corner (0,0) = node 0 has 2.
+        assert_eq!(g.degree(g.node(0)), 2);
+    }
+
+    #[test]
+    fn tree_is_acyclic_size() {
+        let g = binary_tree(5);
+        assert_eq!(g.m(), g.n() - 1);
+        let t = random_spanning_check(&g);
+        assert!(t);
+    }
+
+    fn random_spanning_check(g: &Graph) -> bool {
+        // A connected graph with n-1 edges is a tree.
+        is_connected(g) && g.m() == g.n() - 1
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle needs at least 3 nodes")]
+    fn cycle_too_small() {
+        cycle(2);
+    }
+}

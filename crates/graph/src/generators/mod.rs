@@ -1,0 +1,26 @@
+//! Graph generators: every class the paper names plus general-graph
+//! comparators.
+//!
+//! * [`classic`] — deterministic families (paths, cycles, cliques, grids,
+//!   stars, hypercubes, trees, spiders, barbells);
+//! * [`random`] — random general graphs (Erdős–Rényi `G(n, p)`, random
+//!   trees, connected variants);
+//! * [`geometric`] — the geometric classes of Section 1.3: unit disk, quasi
+//!   unit disk, unit ball over arbitrary metrics, and undirected geometric
+//!   radio networks.
+//!
+//! The most used items are re-exported at this level.
+
+pub mod classic;
+pub mod geometric;
+pub mod random;
+
+pub use classic::{
+    barbell, binary_tree, complete, complete_bipartite, cycle, grid2d, hypercube, lollipop, path,
+    spider, star,
+};
+pub use geometric::{
+    geometric_radio_undirected, quasi_unit_disk_in_square, unit_ball, unit_disk,
+    unit_disk_in_square, uniform_points2, uniform_points3, GeometricInstance,
+};
+pub use random::{connected_gnp, gnp, random_tree};

@@ -1,0 +1,101 @@
+//! Granularity of unit disk graphs (Emek–Gasieniec–Kantor–Pelc–Peleg–Su).
+//!
+//! The paper's related work compares against the UDG broadcast bound of
+//! \[13\], parametrized by the **granularity** `g` — the inverse of the
+//! minimum Euclidean distance between two nodes (for unit transmission
+//! radius): `Θ(min{D + g², D·log g})` deterministic rounds. The paper notes
+//! `g = Ω(√n / D)` by an area argument, which is how the two
+//! parametrizations are compared. This module computes `g` and the derived
+//! bounds so experiment E13 can put all parametrizations side by side.
+
+use crate::geometry::{Euclidean2, Metric, Point2};
+
+/// Granularity of a point set at unit radius: `1 / min pairwise distance`.
+///
+/// Returns `None` for fewer than two points or coincident points
+/// (infinite granularity).
+pub fn granularity(points: &[Point2]) -> Option<f64> {
+    let mut min_d = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = Euclidean2.dist(&points[i], &points[j]);
+            if d < min_d {
+                min_d = d;
+            }
+        }
+    }
+    (min_d.is_finite() && min_d > 0.0).then(|| 1.0 / min_d)
+}
+
+/// The \[13\] broadcast bound `min{D + g², D·log₂ g}` (up to constants).
+///
+/// # Panics
+///
+/// Panics unless `g ≥ 1` (granularity of a unit disk graph with an edge is
+/// at least 1).
+pub fn emek_bound(d: u32, g: f64) -> f64 {
+    assert!(g >= 1.0, "granularity is at least 1");
+    let a = d as f64 + g * g;
+    let b = d as f64 * g.max(2.0).log2();
+    a.min(b)
+}
+
+/// The paper's area-argument lower bound `g = Ω(√n / D)` — the bridge
+/// between the granularity and `(n, D)` parametrizations (Section 1.5.2).
+pub fn granularity_lower_bound(n: usize, d: u32) -> f64 {
+    (n as f64).sqrt() / d.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn granularity_of_grid_points() {
+        // Points spaced 0.5 apart: granularity 2.
+        let pts: Vec<Point2> =
+            (0..4).flat_map(|x| (0..4).map(move |y| Point2::new(x as f64 / 2.0, y as f64 / 2.0))).collect();
+        let g = granularity(&pts).unwrap();
+        assert!((g - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(granularity(&[]).is_none());
+        assert!(granularity(&[Point2::new(0.0, 0.0)]).is_none());
+        assert!(granularity(&[Point2::new(1.0, 1.0), Point2::new(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn emek_bound_regimes() {
+        // Moderate g: the D + g² branch wins (116 < 200).
+        assert!((emek_bound(100, 4.0) - 116.0).abs() < 1e-9);
+        // Huge g: the D·log g branch wins.
+        let big = emek_bound(100, 1000.0);
+        assert!((big - 100.0 * 1000f64.log2()).abs() < 1e-9);
+        // Tiny g: the log is floored at 1, so the bound never dips below D.
+        assert!((emek_bound(100, 1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_bound_sane_on_udg() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = generators::unit_disk_in_square(200, 5.0, &mut rng);
+        let g = granularity(&inst.points).unwrap();
+        let d = crate::traversal::diameter(&inst.graph);
+        // The area argument is a lower bound up to constants; allow one.
+        assert!(
+            g >= 0.1 * granularity_lower_bound(inst.graph.n(), d.max(1)),
+            "granularity {g} far below area bound"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity is at least 1")]
+    fn emek_bound_rejects_tiny_g() {
+        let _ = emek_bound(10, 0.5);
+    }
+}

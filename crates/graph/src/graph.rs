@@ -1,0 +1,288 @@
+//! The core immutable undirected graph type.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices `0..n`. They identify vertices **to the
+/// simulator and harness only**; the paper's ad-hoc model forbids protocols
+/// from knowing them, and the protocol layer instead draws random identifiers
+/// (see `radionet_primitives::ids`).
+///
+/// ```
+/// use radionet_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(v: NodeId) -> usize {
+        v.index()
+    }
+}
+
+/// A compact, immutable, undirected graph in CSR (compressed sparse row)
+/// layout.
+///
+/// Construct one with [`GraphBuilder`](crate::GraphBuilder) or
+/// [`Graph::from_edges`]. Self-loops are rejected and parallel edges are
+/// merged at build time, so `m()` counts distinct undirected edges.
+///
+/// ```
+/// use radionet_graph::Graph;
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (1, 2)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3); // the duplicate (1,2) is merged
+/// assert_eq!(g.degree(g.node(1)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted adjacency lists.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    pub(crate) fn from_csr(offsets: Vec<u32>, neighbors: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        Graph { offsets, neighbors }
+    }
+
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges (in either orientation) are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`](crate::GraphError) if an endpoint is out of
+    /// range or an edge is a self-loop.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, crate::GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.try_add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Returns the node with dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.n()`.
+    #[inline]
+    pub fn node(&self, i: usize) -> NodeId {
+        assert!(i < self.n(), "node index {i} out of range (n = {})", self.n());
+        NodeId::new(i)
+    }
+
+    /// Iterates over all nodes in index order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::new)
+    }
+
+    /// The sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree `Δ`; 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`; 0 for the empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n() == 0
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping from new
+    /// ids to original ids.
+    ///
+    /// Nodes are renumbered densely in the order they appear in `keep`;
+    /// duplicates in `keep` are ignored after the first occurrence.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut new_of = vec![u32::MAX; self.n()];
+        let mut order = Vec::with_capacity(keep.len());
+        for &v in keep {
+            if new_of[v.index()] == u32::MAX {
+                new_of[v.index()] = order.len() as u32;
+                order.push(v);
+            }
+        }
+        let mut b = crate::GraphBuilder::new(order.len());
+        for (ni, &v) in order.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                let nw = new_of[w.index()];
+                if nw != u32::MAX && (nw as usize) > ni {
+                    b.add_edge(ni, nw as usize);
+                }
+            }
+        }
+        (b.build(), order)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(g.node(0), g.node(2)));
+        assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = Graph::from_edges(2, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(g.node(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(Graph::from_edges(2, [(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Graph::from_edges(2, [(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let ns: Vec<usize> = g.neighbors(g.node(2)).iter().map(|v| v.index()).collect();
+        assert_eq!(ns, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        // Path 0-1-2-3; keep {1, 3, 2} -> path 2-1(new ids: 1-2 edge? ...)
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let keep = vec![g.node(1), g.node(3), g.node(2)];
+        let (h, order) = g.induced_subgraph(&keep);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.m(), 2); // edges {1,2} and {2,3} survive
+        assert_eq!(order, keep);
+        // new index of node 2 is 2; it must connect to both others.
+        assert_eq!(h.degree(h.node(2)), 2);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let v = NodeId::new(7);
+        assert_eq!(format!("{v}"), "7");
+        assert_eq!(format!("{v:?}"), "v7");
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(format!("{g:?}"), "Graph(n=2, m=1)");
+    }
+}

@@ -1,0 +1,320 @@
+//! Breadth-first traversal, connectivity and diameter computation.
+//!
+//! The paper's running times are parametrized by the diameter `D`; the
+//! experiment harness needs exact diameters for moderate graphs
+//! ([`diameter_exact`]) and a fast exact-on-most-inputs algorithm (iFUB,
+//! [`diameter_ifub`]) for larger ones.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance marker for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` to every node; [`UNREACHABLE`] where no path.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    bfs_distances_multi(g, std::slice::from_ref(&src))
+}
+
+/// BFS distances from the nearest of `sources`; [`UNREACHABLE`] where none.
+///
+/// With an empty source set, every node is unreachable.
+pub fn bfs_distances_multi(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// A BFS tree rooted at `sources`: for each node, its parent and depth.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Parent of each node; `None` for roots and unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// Depth (hop distance) of each node; [`UNREACHABLE`] if unreachable.
+    pub depth: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Maximum finite depth in the tree; 0 if no node is reachable.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    }
+}
+
+/// Builds a BFS tree from (multi-)sources.
+pub fn bfs_tree(g: &Graph, sources: &[NodeId]) -> BfsTree {
+    let mut parent = vec![None; g.n()];
+    let mut depth = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if depth[s.index()] == UNREACHABLE {
+            depth[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = depth[u.index()];
+        for &w in g.neighbors(u) {
+            if depth[w.index()] == UNREACHABLE {
+                depth[w.index()] = du + 1;
+                parent[w.index()] = Some(u);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { parent, depth }
+}
+
+/// Connected components: `(labels, count)` with labels in `0..count`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; g.n()];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if label[s.index()] != usize::MAX {
+            continue;
+        }
+        label[s.index()] = count;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if label[w.index()] == usize::MAX {
+                    label[w.index()] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// Whether the graph is connected. The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).1 == 1
+}
+
+/// Eccentricity of `v`: the maximum BFS distance to any reachable node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter by all-pairs BFS. `O(n (n + m))`.
+///
+/// Disconnected graphs report the largest eccentricity within any component.
+/// Use for `n` up to a few thousand; prefer [`diameter_ifub`] beyond that.
+pub fn diameter_exact(g: &Graph) -> u32 {
+    g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Exact diameter via the iFUB algorithm (Crescenzi et al.), which is
+/// `O(n (n + m))` in the worst case but typically runs a handful of BFS.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (iFUB's bounds argument needs a single
+/// component); check [`is_connected`] first.
+pub fn diameter_ifub(g: &Graph) -> u32 {
+    assert!(is_connected(g), "diameter_ifub requires a connected graph");
+    if g.n() <= 1 {
+        return 0;
+    }
+    // Double sweep from a max-degree node to find a far vertex pair, then run
+    // iFUB from the midpoint of the found path.
+    let start = g
+        .nodes()
+        .max_by_key(|&v| g.degree(v))
+        .expect("nonempty graph");
+    let d1 = bfs_distances(g, start);
+    let a = argmax_finite(&d1);
+    let da = bfs_distances(g, a);
+    let b = argmax_finite(&da);
+    let lower0 = da[b.index()];
+    // Midpoint of the a..b path: walk a BFS tree from a towards b.
+    let tree = bfs_tree(g, &[a]);
+    let mut mid = b;
+    for _ in 0..(lower0 / 2) {
+        if let Some(p) = tree.parent[mid.index()] {
+            mid = p;
+        }
+    }
+    let dmid = bfs_distances(g, mid);
+    let height = dmid.iter().copied().max().expect("connected");
+    // Order nodes by decreasing distance from mid (fringe-first).
+    let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); height as usize + 1];
+    for v in g.nodes() {
+        by_level[dmid[v.index()] as usize].push(v);
+    }
+    let mut lower = lower0;
+    let mut upper = 2 * height;
+    let mut level = height as i64;
+    while lower < upper && level >= 0 {
+        // All nodes strictly below `level` can contribute at most 2*level - 2
+        // ... standard iFUB: if lower >= 2*(level-1) we are done.
+        for &v in &by_level[level as usize] {
+            let ecc = eccentricity(g, v);
+            if ecc > lower {
+                lower = ecc;
+            }
+        }
+        level -= 1;
+        upper = 2 * (level.max(0) as u32);
+        if lower >= upper {
+            break;
+        }
+    }
+    lower
+}
+
+/// Diameter with automatic strategy: exact all-pairs for small graphs,
+/// iFUB for larger connected ones.
+pub fn diameter(g: &Graph) -> u32 {
+    if g.n() <= 1024 || !is_connected(g) {
+        diameter_exact(g)
+    } else {
+        diameter_ifub(g)
+    }
+}
+
+/// Nodes within hop distance `d` of `v` (including `v`).
+pub fn ball(g: &Graph, v: NodeId, d: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(g, v);
+    g.nodes().filter(|u| dist[u.index()] <= d).collect()
+}
+
+fn argmax_finite(dist: &[u32]) -> NodeId {
+    let mut best = 0usize;
+    let mut best_d = 0u32;
+    for (i, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d >= best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    NodeId::new(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, g.node(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = generators::path(5);
+        let d = bfs_distances_multi(&g, &[g.node(0), g.node(4)]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_sources_all_unreachable() {
+        let g = generators::path(3);
+        let d = bfs_distances_multi(&g, &[]);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d = bfs_distances(&g, g.node(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameters_agree_on_families() {
+        for g in [
+            generators::path(17),
+            generators::cycle(12),
+            generators::grid2d(5, 7),
+            generators::complete(9),
+            generators::star(10),
+            generators::hypercube(4),
+        ] {
+            assert_eq!(diameter_exact(&g), diameter_ifub(&g), "family {g:?}");
+        }
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        assert_eq!(diameter_exact(&generators::path(10)), 9);
+        assert_eq!(diameter_exact(&generators::cycle(10)), 5);
+        assert_eq!(diameter_exact(&generators::complete(10)), 1);
+        assert_eq!(diameter_exact(&generators::star(10)), 2);
+        assert_eq!(diameter_exact(&generators::grid2d(4, 6)), 8);
+        assert_eq!(diameter_exact(&generators::hypercube(5)), 5);
+    }
+
+    #[test]
+    fn bfs_tree_parents_consistent() {
+        let g = generators::grid2d(4, 4);
+        let t = bfs_tree(&g, &[g.node(0)]);
+        for v in g.nodes() {
+            if let Some(p) = t.parent[v.index()] {
+                assert_eq!(t.depth[v.index()], t.depth[p.index()] + 1);
+                assert!(g.has_edge(v, p));
+            }
+        }
+        assert_eq!(t.height(), 6);
+    }
+
+    #[test]
+    fn ball_sizes() {
+        let g = generators::path(9);
+        assert_eq!(ball(&g, g.node(4), 2).len(), 5);
+        assert_eq!(ball(&g, g.node(0), 0), vec![g.node(0)]);
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = generators::path(9);
+        assert_eq!(eccentricity(&g, g.node(4)), 4);
+        assert_eq!(eccentricity(&g, g.node(0)), 8);
+    }
+
+    #[test]
+    fn single_node_diameter_zero() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(diameter(&g), 0);
+        assert_eq!(diameter_ifub(&g), 0);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,132 @@
+//! Repeated-Decay flooding.
+//!
+//! Every node that knows a message keeps performing Decay iterations with
+//! the *highest* message it knows; listeners adopt higher messages as they
+//! hear them. Started from a single source this is exactly the classic BGI
+//! broadcast (`O(D log n + log² n)` whp); started from many sources it is
+//! the multi-source "highest message wins" competition used by the naive
+//! leader-election baseline.
+
+use crate::decay::DecaySchedule;
+use radionet_sim::{Action, NodeCtx, Protocol};
+use rand::Rng;
+
+/// Decay-flooding protocol state for one node.
+///
+/// The message type must be totally ordered; higher messages override lower
+/// ones (the paper's `Compete` uses the same lexicographic-override rule).
+/// The protocol never self-terminates (completion is not locally detectable
+/// in the radio model); run it for a caller-chosen step budget.
+#[derive(Clone, Debug)]
+pub struct FloodProtocol<M> {
+    schedule: DecaySchedule,
+    /// Highest message known so far (`None` = uninformed).
+    best: Option<M>,
+    /// Steps already spent *as an informed node* (drives the decay phase).
+    informed_steps: u64,
+}
+
+impl<M: Clone + Ord> FloodProtocol<M> {
+    /// A source (with `Some(message)`) or an uninformed node (`None`).
+    pub fn new(schedule: DecaySchedule, message: Option<M>) -> Self {
+        FloodProtocol { schedule, best: message, informed_steps: 0 }
+    }
+
+    /// The highest message this node knows, if any.
+    pub fn best(&self) -> Option<&M> {
+        self.best.as_ref()
+    }
+}
+
+impl<M: Clone + Ord> Protocol for FloodProtocol<M> {
+    type Msg = M;
+
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<M> {
+        match &self.best {
+            None => Action::Listen,
+            Some(m) => {
+                let t = self.informed_steps;
+                self.informed_steps += 1;
+                if ctx.rng.gen_bool(self.schedule.prob(t)) {
+                    Action::Transmit(m.clone())
+                } else {
+                    Action::Listen
+                }
+            }
+        }
+    }
+
+    fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, msg: &M) {
+        if self.best.as_ref() < Some(msg) {
+            self.best = Some(msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+    use radionet_graph::Graph;
+    use radionet_sim::{NetInfo, Sim};
+
+    /// Floods from the given sources for `steps`; returns per-node best.
+    fn run_flood(g: &Graph, sources: &[(usize, u64)], steps: u64, seed: u64) -> Vec<Option<u64>> {
+        let info = NetInfo::exact(g);
+        let schedule = DecaySchedule::new(info.log_n());
+        let mut sim = Sim::new(g, info, seed);
+        let mut states: Vec<FloodProtocol<u64>> = g
+            .nodes()
+            .map(|v| {
+                let msg = sources.iter().find(|(s, _)| *s == v.index()).map(|&(_, m)| m);
+                FloodProtocol::new(schedule, msg)
+            })
+            .collect();
+        sim.run_phase(&mut states, steps);
+        states.into_iter().map(|s| s.best().copied()).collect()
+    }
+
+    /// A generous BGI budget: 8 (D log n + log² n).
+    fn budget(g: &Graph) -> u64 {
+        let info = NetInfo::exact(g);
+        let l = info.log_n() as u64;
+        8 * (info.d as u64 * l + l * l)
+    }
+
+    #[test]
+    fn single_source_floods_path() {
+        let g = generators::path(24);
+        let out = run_flood(&g, &[(0, 99)], budget(&g), 2);
+        assert!(out.iter().all(|&b| b == Some(99)), "{out:?}");
+    }
+
+    #[test]
+    fn single_source_floods_grid() {
+        let g = generators::grid2d(6, 6);
+        let out = run_flood(&g, &[(0, 1)], budget(&g), 4);
+        assert!(out.iter().all(|&b| b == Some(1)));
+    }
+
+    #[test]
+    fn highest_message_wins() {
+        let g = generators::cycle(16);
+        let out = run_flood(&g, &[(0, 5), (8, 9)], budget(&g), 6);
+        assert!(out.iter().all(|&b| b == Some(9)), "{out:?}");
+    }
+
+    #[test]
+    fn no_sources_stays_silent() {
+        let g = generators::path(5);
+        let out = run_flood(&g, &[], 200, 8);
+        assert!(out.iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn insufficient_budget_incomplete() {
+        // A long path with a tiny budget cannot be fully informed: message
+        // moves at most 1 hop per step.
+        let g = generators::path(64);
+        let out = run_flood(&g, &[(0, 1)], 10, 1);
+        assert!(out[63].is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Random identifiers (paper, Section 1.1).
+//!
+//! In the ad-hoc model nodes are initially indistinguishable; knowing a
+//! linear upper estimate of `n`, each node draws a uniform id from `[n³]`,
+//! unique across the network with high probability (union bound:
+//! collision probability ≤ n²/(2n³) = 1/(2n)).
+
+use rand::Rng;
+
+/// Draws a uniform identifier from `[0, n̂³)`.
+///
+/// # Panics
+///
+/// Panics if `n_estimate == 0`.
+pub fn random_id<R: Rng + ?Sized>(n_estimate: usize, rng: &mut R) -> u64 {
+    assert!(n_estimate > 0, "need a positive n estimate");
+    let n = n_estimate as u128;
+    let cube = n.saturating_mul(n).saturating_mul(n).min(u64::MAX as u128) as u64;
+    rng.gen_range(0..cube.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(random_id(10, &mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn ids_unique_whp() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 1000;
+        let ids: HashSet<u64> = (0..n).map(|_| random_id(n, &mut rng)).collect();
+        assert_eq!(ids.len(), n, "collision among {n} ids from [n³]");
+    }
+
+    #[test]
+    fn huge_n_saturates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // n³ overflows u64: must clamp, not panic.
+        let _ = random_id(usize::MAX / 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive n estimate")]
+    fn zero_n_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_id(0, &mut rng);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared radio-network building blocks from the paper.
+//!
+//! * [`decay`] — the classic **Decay** protocol of Bar-Yehuda, Goldreich and
+//!   Itai (paper, Algorithm 5) and its whp amplification (Claim 10);
+//! * [`effective_degree`] — **EstimateEffectiveDegree** (paper, Algorithm 6)
+//!   with the High/Low guarantee of Lemma 11;
+//! * [`flood`] — repeated-Decay flooding, the engine behind the BGI
+//!   broadcast baseline and several internal subroutines;
+//! * [`ids`] — random identifiers from `[O(n³)]` (paper, Section 1.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decay;
+pub mod effective_degree;
+pub mod flood;
+pub mod ids;
+
+pub use decay::{DecayConfig, DecayProtocol, DecaySchedule};
+pub use effective_degree::{EedConfig, EedCounter, EedProtocol, EedVerdict};
+pub use flood::FloodProtocol;

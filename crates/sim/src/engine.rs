@@ -1,0 +1,544 @@
+//! The phase-based simulation engine.
+
+use crate::protocol::{Action, NetInfo, NodeCtx, Protocol};
+use crate::reception::ReceptionMode;
+use crate::stats::SimStats;
+use radionet_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of one [`Sim::run_phase`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Simulated time-steps consumed by the phase.
+    pub steps: u64,
+    /// Total transmissions during the phase.
+    pub transmissions: u64,
+    /// Successful deliveries (listener with exactly one transmitting neighbor).
+    pub deliveries: u64,
+    /// Collisions (listener with ≥ 2 transmitting neighbors in a step).
+    pub collisions: u64,
+    /// Whether every node reported [`Protocol::is_done`] before the budget.
+    pub completed: bool,
+}
+
+/// A radio-network simulation bound to one graph.
+///
+/// Holds per-node RNGs that persist across phases, the global clock, and
+/// cumulative [`SimStats`]. A multi-phase algorithm (e.g. `Compete`) runs
+/// each stage with [`run_phase`](Sim::run_phase), optionally adding charged
+/// oracle costs with [`charge`](Sim::charge); everything is a deterministic
+/// function of `(graph, info, seed)`.
+#[derive(Debug)]
+pub struct Sim<'g> {
+    graph: &'g Graph,
+    info: NetInfo,
+    rngs: Vec<SmallRng>,
+    clock: u64,
+    stats: SimStats,
+    reception: ReceptionMode,
+    // Scratch buffers reused across steps (stamp technique avoids O(n) clears).
+    stamp: Vec<u64>,
+    count: Vec<u32>,
+    from: Vec<u32>,
+    stamp_epoch: u64,
+}
+
+impl<'g> Sim<'g> {
+    /// Creates a simulation over `graph` with the given network estimates
+    /// and master seed, under the paper's protocol model.
+    pub fn new(graph: &'g Graph, info: NetInfo, seed: u64) -> Self {
+        Self::with_reception(graph, info, seed, ReceptionMode::Protocol)
+    }
+
+    /// Creates a simulation under an explicit [`ReceptionMode`] (collision
+    /// detection or SINR; see the `reception` module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an SINR mode supplies a position count different from the
+    /// node count.
+    pub fn with_reception(
+        graph: &'g Graph,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+    ) -> Self {
+        if let ReceptionMode::Sinr(cfg) = &reception {
+            assert_eq!(cfg.positions.len(), graph.n(), "one position per node");
+        }
+        let mut master = SmallRng::seed_from_u64(seed);
+        let rngs = (0..graph.n()).map(|_| SmallRng::seed_from_u64(master.gen())).collect();
+        Sim {
+            graph,
+            info,
+            rngs,
+            clock: 0,
+            stats: SimStats::default(),
+            reception,
+            stamp: vec![0; graph.n()],
+            count: vec![0; graph.n()],
+            from: vec![0; graph.n()],
+            stamp_epoch: 0,
+        }
+    }
+
+    /// The active reception mode.
+    pub fn reception(&self) -> &ReceptionMode {
+        &self.reception
+    }
+
+    /// The simulated graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The network estimates every node receives.
+    pub fn info(&self) -> &NetInfo {
+        &self.info
+    }
+
+    /// Global clock: simulated plus charged steps so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Adds `steps` *charged* (oracle) time-steps: the clock advances but
+    /// nothing is simulated. Used to account for black-boxed subroutines
+    /// (see DESIGN.md substitution S1); tracked separately in [`SimStats`].
+    pub fn charge(&mut self, steps: u64) {
+        self.clock += steps;
+        self.stats.charged_steps += steps;
+    }
+
+    /// Runs one phase: every node executes `states[v]` until all nodes are
+    /// done or `max_steps` elapse.
+    ///
+    /// `states` must hold exactly one protocol state per node, indexed by
+    /// [`NodeId::index`]. States are left in their final condition so the
+    /// caller can extract outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
+        assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
+        let mut report = PhaseReport {
+            steps: 0,
+            transmissions: 0,
+            deliveries: 0,
+            collisions: 0,
+            completed: false,
+        };
+        if states.iter().all(|s| s.is_done()) {
+            report.completed = true;
+            return report;
+        }
+        // (transmitter, message) pairs of the current step.
+        let mut transmitters: Vec<(NodeId, P::Msg)> = Vec::new();
+        // Which nodes listened this step (act returned Listen).
+        let mut listening = vec![false; states.len()];
+
+        for local_t in 0..max_steps {
+            transmitters.clear();
+            self.stamp_epoch += 1;
+            for (i, state) in states.iter_mut().enumerate() {
+                let mut ctx = NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                match state.act(&mut ctx) {
+                    Action::Transmit(m) => {
+                        listening[i] = false;
+                        transmitters.push((NodeId::new(i), m));
+                    }
+                    Action::Listen => listening[i] = true,
+                    Action::Idle => listening[i] = false,
+                }
+            }
+            report.transmissions += transmitters.len() as u64;
+            if let ReceptionMode::Sinr(cfg) = &self.reception {
+                // SINR reception (footnote 1): a listener decodes the
+                // strongest transmitter iff its SINR clears the threshold,
+                // regardless of graph adjacency.
+                for (i, &l) in listening.iter().enumerate() {
+                    if !l || transmitters.is_empty() {
+                        continue;
+                    }
+                    let mut total = 0.0;
+                    let mut best_gain = 0.0;
+                    let mut best_ti = usize::MAX;
+                    for (ti, (u, _)) in transmitters.iter().enumerate() {
+                        let gain = cfg.gain(cfg.dist(u.index(), i));
+                        total += gain;
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best_ti = ti;
+                        }
+                    }
+                    let sinr = best_gain / (cfg.noise + (total - best_gain));
+                    if sinr >= cfg.threshold {
+                        let msg = &transmitters[best_ti].1;
+                        let mut ctx =
+                            NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                        states[i].on_hear(&mut ctx, msg);
+                        report.deliveries += 1;
+                    } else if best_gain / cfg.noise >= cfg.threshold {
+                        // Decodable in isolation, lost to interference.
+                        report.collisions += 1;
+                    }
+                }
+            } else {
+                // Protocol model: mark reception counts on neighbors of
+                // transmitters.
+                for (ti, &(u, _)) in transmitters.iter().enumerate() {
+                    for &w in self.graph.neighbors(u) {
+                        let wi = w.index();
+                        if self.stamp[wi] != self.stamp_epoch {
+                            self.stamp[wi] = self.stamp_epoch;
+                            self.count[wi] = 0;
+                        }
+                        self.count[wi] += 1;
+                        self.from[wi] = ti as u32;
+                    }
+                }
+                // Deliver to unique-transmitter listeners.
+                for (ti, &(u, _)) in transmitters.iter().enumerate() {
+                    for &w in self.graph.neighbors(u) {
+                        let wi = w.index();
+                        if listening[wi]
+                            && self.stamp[wi] == self.stamp_epoch
+                            && self.count[wi] == 1
+                            && self.from[wi] == ti as u32
+                        {
+                            let msg = &transmitters[ti].1;
+                            let mut ctx = NodeCtx {
+                                time: local_t,
+                                info: &self.info,
+                                rng: &mut self.rngs[wi],
+                            };
+                            states[wi].on_hear(&mut ctx, msg);
+                            report.deliveries += 1;
+                        }
+                    }
+                }
+                // Collisions (listeners with ≥ 2 transmitting neighbors);
+                // with collision detection the listener is told.
+                let cd = self.reception == ReceptionMode::ProtocolCd;
+                for (i, &l) in listening.iter().enumerate() {
+                    if l && self.stamp[i] == self.stamp_epoch && self.count[i] >= 2 {
+                        report.collisions += 1;
+                        if cd {
+                            let mut ctx = NodeCtx {
+                                time: local_t,
+                                info: &self.info,
+                                rng: &mut self.rngs[i],
+                            };
+                            states[i].on_collision(&mut ctx);
+                        }
+                    }
+                }
+            }
+            report.steps += 1;
+            if states.iter().all(|s| s.is_done()) {
+                report.completed = true;
+                break;
+            }
+        }
+        self.clock += report.steps;
+        self.stats.absorb_phase(&report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+
+    /// Transmits forever if `active`; records everything heard.
+    struct Chatter {
+        active: bool,
+        heard: Vec<u32>,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u32;
+        fn act(&mut self, _ctx: &mut NodeCtx<'_>) -> Action<u32> {
+            if self.active {
+                Action::Transmit(7)
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, msg: &u32) {
+            self.heard.push(*msg);
+        }
+    }
+
+    fn chatters(g: &Graph, active: &[usize]) -> Vec<Chatter> {
+        g.nodes()
+            .map(|v| Chatter { active: active.contains(&v.index()), heard: Vec::new() })
+            .collect()
+    }
+
+    #[test]
+    fn single_transmitter_delivers() {
+        let g = generators::star(4); // hub 0
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states = chatters(&g, &[0]);
+        let rep = sim.run_phase(&mut states, 3);
+        assert_eq!(rep.steps, 3);
+        assert_eq!(rep.transmissions, 3);
+        assert_eq!(rep.deliveries, 9); // 3 leaves × 3 steps
+        assert_eq!(rep.collisions, 0);
+        for leaf in 1..4 {
+            assert_eq!(states[leaf].heard, vec![7, 7, 7]);
+        }
+    }
+
+    #[test]
+    fn two_transmitters_collide_at_common_neighbor() {
+        // Path 1 - 0 - 2: if 1 and 2 transmit, 0 hears nothing.
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states = chatters(&g, &[1, 2]);
+        let rep = sim.run_phase(&mut states, 2);
+        assert_eq!(rep.deliveries, 0);
+        assert_eq!(rep.collisions, 2); // node 0, both steps
+        assert!(states[0].heard.is_empty());
+    }
+
+    #[test]
+    fn transmitter_cannot_hear() {
+        // Edge 0 - 1, both transmit: nobody hears.
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states = chatters(&g, &[0, 1]);
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.deliveries, 0);
+        assert_eq!(rep.collisions, 0); // neither was listening
+        assert!(states[0].heard.is_empty());
+        assert!(states[1].heard.is_empty());
+    }
+
+    #[test]
+    fn unique_transmitter_among_many_neighbors() {
+        // Clique of 4; only node 3 transmits; everyone else hears it.
+        let g = generators::complete(4);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states = chatters(&g, &[3]);
+        sim.run_phase(&mut states, 1);
+        for i in 0..3 {
+            assert_eq!(states[i].heard, vec![7]);
+        }
+    }
+
+    /// Listens until it hears once, then goes idle.
+    struct OneShot {
+        source: bool,
+        heard: bool,
+    }
+
+    impl Protocol for OneShot {
+        type Msg = ();
+        fn act(&mut self, _ctx: &mut NodeCtx<'_>) -> Action<()> {
+            if self.source {
+                Action::Transmit(())
+            } else if self.heard {
+                Action::Idle
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, _msg: &()) {
+            self.heard = true;
+        }
+        fn is_done(&self) -> bool {
+            self.heard || self.source
+        }
+    }
+
+    #[test]
+    fn phase_completes_early() {
+        let g = generators::star(6);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states: Vec<OneShot> =
+            g.nodes().map(|v| OneShot { source: v.index() == 0, heard: false }).collect();
+        let rep = sim.run_phase(&mut states, 100);
+        assert!(rep.completed);
+        assert_eq!(rep.steps, 1);
+        assert_eq!(sim.clock(), 1);
+    }
+
+    #[test]
+    fn idle_nodes_do_not_hear() {
+        let g = generators::star(3);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states: Vec<OneShot> =
+            g.nodes().map(|v| OneShot { source: v.index() == 0, heard: false }).collect();
+        // First step: leaves hear, become idle/done. Run again: no deliveries.
+        sim.run_phase(&mut states, 1);
+        let rep2 = sim.run_phase(&mut states, 1);
+        assert!(rep2.completed);
+        assert_eq!(rep2.deliveries, 0);
+    }
+
+    #[test]
+    fn charge_advances_clock_only() {
+        let g = generators::path(4);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        sim.charge(1000);
+        assert_eq!(sim.clock(), 1000);
+        assert_eq!(sim.stats().charged_steps, 1000);
+        assert_eq!(sim.stats().simulated_steps, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        // A protocol that transmits with probability 1/2 per step.
+        struct Coin {
+            sent: Vec<bool>,
+        }
+        impl Protocol for Coin {
+            type Msg = ();
+            fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<()> {
+                let t = ctx.rng.gen_bool(0.5);
+                self.sent.push(t);
+                if t {
+                    Action::Transmit(())
+                } else {
+                    Action::Listen
+                }
+            }
+            fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, _msg: &()) {}
+        }
+        let g = generators::cycle(8);
+        let run = |seed| {
+            let mut sim = Sim::new(&g, NetInfo::exact(&g), seed);
+            let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
+            sim.run_phase(&mut states, 50);
+            states.into_iter().map(|c| c.sent).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol state per node")]
+    fn wrong_state_count_panics() {
+        let g = generators::path(4);
+        let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
+        let mut states = chatters(&g, &[]);
+        states.pop();
+        sim.run_phase(&mut states, 1);
+    }
+
+    /// Records both messages and collision notifications.
+    struct CdChatter {
+        active: bool,
+        heard: usize,
+        collisions: usize,
+    }
+
+    impl Protocol for CdChatter {
+        type Msg = ();
+        fn act(&mut self, _ctx: &mut NodeCtx<'_>) -> Action<()> {
+            if self.active {
+                Action::Transmit(())
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, _msg: &()) {
+            self.heard += 1;
+        }
+        fn on_collision(&mut self, _ctx: &mut NodeCtx<'_>) {
+            self.collisions += 1;
+        }
+    }
+
+    #[test]
+    fn collision_detection_notifies() {
+        // Path 1 - 0 - 2: both leaves transmit; with CD the center is told
+        // about the collision, without CD it hears nothing at all.
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let mk = |g: &Graph| -> Vec<CdChatter> {
+            g.nodes()
+                .map(|v| CdChatter { active: v.index() != 0, heard: 0, collisions: 0 })
+                .collect()
+        };
+        let info = NetInfo::exact(&g);
+        let mut sim = Sim::with_reception(&g, info, 0, crate::ReceptionMode::ProtocolCd);
+        let mut states = mk(&g);
+        sim.run_phase(&mut states, 2);
+        assert_eq!(states[0].collisions, 2);
+        assert_eq!(states[0].heard, 0);
+
+        let mut sim = Sim::new(&g, info, 0);
+        let mut states = mk(&g);
+        sim.run_phase(&mut states, 2);
+        assert_eq!(states[0].collisions, 0, "default model must never notify");
+    }
+
+    #[test]
+    fn sinr_capture_effect() {
+        // Listener 0 at origin; transmitter 1 very close, transmitter 2 far.
+        // Protocol model: collision (both are neighbors). SINR: node 1's
+        // signal dominates and is decoded — the capture effect the protocol
+        // model abstracts away (paper, footnote 1).
+        let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
+        let positions = vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.0)];
+        let info = NetInfo::exact(&g);
+        let mode =
+            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
+        let mut sim = Sim::with_reception(&g, info, 0, mode);
+        let mut states: Vec<Chatter> = g
+            .nodes()
+            .map(|v| Chatter { active: v.index() != 0, heard: Vec::new() })
+            .collect();
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.deliveries, 1);
+        assert_eq!(states[0].heard, vec![7]);
+
+        // Same setup under the protocol model: nothing gets through.
+        let mut sim = Sim::new(&g, info, 0);
+        let mut states: Vec<Chatter> = g
+            .nodes()
+            .map(|v| Chatter { active: v.index() != 0, heard: Vec::new() })
+            .collect();
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.deliveries, 0);
+        assert!(states[0].heard.is_empty());
+    }
+
+    #[test]
+    fn sinr_far_transmitter_not_heard() {
+        // A single transmitter beyond the calibrated range is too weak.
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let positions = vec![(0.0, 0.0), (2.0, 0.0)];
+        let info = NetInfo::exact(&g);
+        let mode =
+            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
+        let mut sim = Sim::with_reception(&g, info, 0, mode);
+        let mut states = vec![
+            Chatter { active: false, heard: Vec::new() },
+            Chatter { active: true, heard: Vec::new() },
+        ];
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.deliveries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per node")]
+    fn sinr_position_count_checked() {
+        let g = generators::path(3);
+        let mode = crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(
+            vec![(0.0, 0.0)],
+            1.0,
+        ));
+        let _ = Sim::with_reception(&g, NetInfo::exact(&g), 0, mode);
+    }
+}

@@ -1,0 +1,64 @@
+//! Synchronous radio-network simulator (paper, Section 1.1).
+//!
+//! The model simulated here is exactly the paper's:
+//!
+//! * time is divided into synchronous **time-steps**;
+//! * in each step every node either **transmits** a message or **listens**;
+//! * a listening node hears a message **iff exactly one of its neighbors
+//!   transmits** in that step; otherwise (zero or ≥ 2 transmitters) it hears
+//!   nothing, and it cannot distinguish the two cases (**no collision
+//!   detection**);
+//! * a transmitting node hears nothing in that step (half-duplex);
+//! * all nodes wake up at step 0 (**synchronous wake-up**);
+//! * the network is **ad-hoc**: protocols receive only the estimates in
+//!   [`NetInfo`], never the topology or their own degree.
+//!
+//! Protocols implement [`Protocol`] and are executed in *phases* by
+//! [`Sim::run_phase`]; per-node RNGs persist across phases so a whole
+//! multi-phase algorithm is a deterministic function of `(graph, seed)`.
+//! Time multiplexing (used by the paper's `Compete`, Algorithms 1/8/10) is
+//! provided by [`multiplex::RoundRobin2`] and [`multiplex::RoundRobin3`].
+//!
+//! # Example: one transmitter, star topology
+//!
+//! ```
+//! use radionet_graph::generators;
+//! use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, Sim};
+//!
+//! struct Beacon { is_source: bool, heard: bool }
+//! impl Protocol for Beacon {
+//!     type Msg = u64;
+//!     fn act(&mut self, _ctx: &mut NodeCtx<'_>) -> Action<u64> {
+//!         if self.is_source { Action::Transmit(42) } else { Action::Listen }
+//!     }
+//!     fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, msg: &u64) {
+//!         assert_eq!(*msg, 42);
+//!         self.heard = true;
+//!     }
+//!     fn is_done(&self) -> bool { self.heard || self.is_source }
+//! }
+//!
+//! let g = generators::star(5); // hub 0, leaves 1..4
+//! let mut sim = Sim::new(&g, NetInfo::exact(&g), 1);
+//! let mut nodes: Vec<Beacon> =
+//!     g.nodes().map(|v| Beacon { is_source: v.index() == 0, heard: false }).collect();
+//! let report = sim.run_phase(&mut nodes, 4);
+//! assert!(report.completed);
+//! assert!(nodes.iter().skip(1).all(|b| b.heard));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod engine;
+pub mod multiplex;
+mod protocol;
+mod reception;
+mod stats;
+
+pub use cost::CostModel;
+pub use engine::{PhaseReport, Sim};
+pub use protocol::{Action, NetInfo, NodeCtx, Protocol};
+pub use reception::{ReceptionMode, SinrConfig};
+pub use stats::SimStats;

@@ -1,0 +1,186 @@
+//! The protocol interface: what a node may do and what it may know.
+
+use radionet_graph::Graph;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// A node's choice in one time-step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action<M> {
+    /// Transmit `M` to all neighbors (subject to collision).
+    Transmit(M),
+    /// Listen; [`Protocol::on_hear`] fires if exactly one neighbor transmits.
+    Listen,
+    /// Neither transmit nor listen (a halted or removed node).
+    ///
+    /// Operationally identical to [`Action::Listen`] with the delivery
+    /// discarded, but lets the engine skip bookkeeping and makes protocol
+    /// state machines clearer.
+    Idle,
+}
+
+/// What the ad-hoc model lets every node know (paper, Section 1.1): linear
+/// upper estimates of `n` and `D`, and a polynomial approximation of the
+/// independence number `α`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetInfo {
+    /// Upper estimate of the node count (within a constant factor).
+    pub n: usize,
+    /// Upper estimate of the diameter (within a constant factor).
+    pub d: u32,
+    /// Polynomial approximation of the independence number.
+    pub alpha: f64,
+}
+
+impl NetInfo {
+    /// Builds exact network information from a graph — the harness's default
+    /// (the model allows estimates; exactness is the easiest valid choice).
+    ///
+    /// Uses the exact diameter and an α bracket whose exact-search budget
+    /// shrinks with `n` (large graphs fall back to the greedy/clique-cover
+    /// bracket, which the paper's "any polynomial approximation will
+    /// suffice" tolerates).
+    pub fn exact(g: &Graph) -> Self {
+        let d = radionet_graph::traversal::diameter(g);
+        let budget = match g.n() {
+            0..=64 => 500_000,
+            65..=128 => 50_000,
+            _ => 2_000,
+        };
+        let alpha = radionet_graph::independent_set::alpha_bounds(g, budget).estimate();
+        NetInfo { n: g.n().max(1), d: d.max(1), alpha: alpha.max(1.0) }
+    }
+
+    /// Same as [`NetInfo::exact`] but with `n`, `D`, `α` each inflated by
+    /// `slack` (≥ 1.0), for testing robustness to estimate error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack < 1.0`.
+    pub fn with_slack(g: &Graph, slack: f64) -> Self {
+        assert!(slack >= 1.0, "slack must be >= 1");
+        let base = Self::exact(g);
+        NetInfo {
+            n: ((base.n as f64) * slack).ceil() as usize,
+            d: ((base.d as f64) * slack).ceil() as u32,
+            alpha: base.alpha * slack,
+        }
+    }
+
+    /// `⌈log₂ n⌉`, the ubiquitous protocol parameter, at least 1.
+    pub fn log_n(&self) -> u32 {
+        (self.n.max(2) as f64).log2().ceil() as u32
+    }
+
+    /// `log₂ D`, at least 1.0 (the paper's `log D` terms).
+    pub fn log_d(&self) -> f64 {
+        (self.d.max(2) as f64).log2()
+    }
+
+    /// `log_D α = ln α / ln D`, clamped to at least 1.0 — the paper's key
+    /// quantity (`Θ(log_D α)` fine-cluster radius multiplier).
+    pub fn log_d_alpha(&self) -> f64 {
+        let ld = (self.d.max(2) as f64).ln();
+        (self.alpha.max(2.0).ln() / ld).max(1.0)
+    }
+
+    /// `log_D n`, clamped to at least 1.0 (the \[CD21\] analogue).
+    pub fn log_d_n(&self) -> f64 {
+        let ld = (self.d.max(2) as f64).ln();
+        ((self.n.max(2) as f64).ln() / ld).max(1.0)
+    }
+}
+
+/// Per-step context handed to a [`Protocol`].
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// The protocol-local time-step (0-based within the current phase; under
+    /// multiplexing, within this protocol's own sub-schedule).
+    pub time: u64,
+    /// Network estimates available to every node in the ad-hoc model.
+    pub info: &'a NetInfo,
+    /// The node's private randomness source.
+    pub rng: &'a mut SmallRng,
+}
+
+/// A per-node protocol state machine.
+///
+/// The engine calls [`act`](Protocol::act) once per time-step for every
+/// node, resolves collisions, then calls [`on_hear`](Protocol::on_hear) on
+/// each listener with exactly one transmitting neighbor. Implementations
+/// must not assume anything about node identity beyond what they draw from
+/// `ctx.rng` (ad-hoc model).
+pub trait Protocol {
+    /// Message type carried over the air.
+    type Msg: Clone;
+
+    /// Decide this step's action. Called exactly once per step.
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<Self::Msg>;
+
+    /// Called after `act` in the same step if this node listened and heard a
+    /// message (exactly one transmitting neighbor).
+    fn on_hear(&mut self, ctx: &mut NodeCtx<'_>, msg: &Self::Msg);
+
+    /// Called instead of [`on_hear`](Protocol::on_hear) when the node
+    /// listened into a collision **and the engine runs with collision
+    /// detection** ([`ReceptionMode::ProtocolCd`](crate::ReceptionMode));
+    /// the paper's default model never invokes it (collisions are
+    /// indistinguishable from silence there).
+    fn on_collision(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// Whether this node's role in the phase is complete. A phase ends when
+    /// every node is done (or the step budget runs out).
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::generators;
+
+    #[test]
+    fn netinfo_exact_on_grid() {
+        let g = generators::grid2d(4, 4);
+        let info = NetInfo::exact(&g);
+        assert_eq!(info.n, 16);
+        assert_eq!(info.d, 6);
+        assert!((info.alpha - 8.0).abs() < 1e-9);
+        assert_eq!(info.log_n(), 4);
+    }
+
+    #[test]
+    fn netinfo_slack_inflates() {
+        let g = generators::grid2d(4, 4);
+        let a = NetInfo::exact(&g);
+        let b = NetInfo::with_slack(&g, 2.0);
+        assert_eq!(b.n, 2 * a.n);
+        assert_eq!(b.d, 2 * a.d);
+        assert!(b.alpha > a.alpha);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be >= 1")]
+    fn slack_below_one_rejected() {
+        let g = generators::path(4);
+        let _ = NetInfo::with_slack(&g, 0.5);
+    }
+
+    #[test]
+    fn log_quantities_clamped() {
+        let info = NetInfo { n: 2, d: 1, alpha: 1.0 };
+        assert!(info.log_d_alpha() >= 1.0);
+        assert!(info.log_d_n() >= 1.0);
+        assert!(info.log_n() >= 1);
+    }
+
+    #[test]
+    fn log_d_alpha_vs_n_separation() {
+        // Grid: alpha = n/2, so log_D α ≈ log_D n. UDG-like small alpha:
+        // alpha = D², n = D⁴ → log_D α = 2, log_D n = 4.
+        let info = NetInfo { n: 10_000, d: 10, alpha: 100.0 };
+        assert!((info.log_d_alpha() - 2.0).abs() < 1e-9);
+        assert!((info.log_d_n() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Alternative reception models.
+//!
+//! The paper works in the classic *protocol model* (a listener hears a
+//! message iff exactly one neighbor transmits, no collision detection) and
+//! explicitly notes the alternatives it abstracts away: collision detection
+//! (its related work, e.g. Schneider–Wattenhofer \[29\] and Dessmark–Pelc
+//! \[12\], *requires* it) and the physical **SINR** model (footnote 1, citing
+//! Daum et al. \[10\]). This module makes the reception rule pluggable so the
+//! harness can quantify what the abstraction costs (experiment E13):
+//!
+//! * [`ReceptionMode::Protocol`] — the paper's model (default);
+//! * [`ReceptionMode::ProtocolCd`] — same topology, but a listener can
+//!   distinguish *collision* (≥ 2 transmitting neighbors) from *silence*;
+//!   delivered via [`Protocol::on_collision`](crate::Protocol::on_collision);
+//! * [`ReceptionMode::Sinr`] — geometric reception: a listener hears the
+//!   strongest transmitter `u` iff
+//!   `P·d(u,v)^{-α} / (N + Σ_{w≠u} P·d(w,v)^{-α}) ≥ β`, independent of the
+//!   graph (the graph still defines who *intends* to talk to whom; SINR
+//!   decides who is *heard*, including capture from non-neighbors).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SINR reception rule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SinrConfig {
+    /// Node positions (one per node, in the plane).
+    pub positions: Vec<(f64, f64)>,
+    /// Path-loss exponent `α` (free space 2, urban 3–4).
+    pub path_loss: f64,
+    /// SINR threshold `β ≥ 1` for successful decoding.
+    pub threshold: f64,
+    /// Ambient noise power `N > 0`.
+    pub noise: f64,
+    /// Uniform transmit power `P`.
+    pub power: f64,
+}
+
+impl SinrConfig {
+    /// A standard configuration for unit-disk-scale deployments: path loss
+    /// `α = 3`, threshold `β = 2`, and noise calibrated so that an isolated
+    /// transmitter is decodable up to distance ≈ `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive.
+    pub fn for_unit_range(positions: Vec<(f64, f64)>, range: f64) -> Self {
+        assert!(range > 0.0, "range must be positive");
+        let path_loss = 3.0;
+        let threshold = 2.0;
+        let power = 1.0;
+        // Decodable alone at `range`: P·range^{-α} / N = β.
+        let noise = power * range.powf(-path_loss) / threshold;
+        SinrConfig { positions, path_loss, threshold, noise, power }
+    }
+
+    /// Received power at distance `d` (clamped below to avoid the
+    /// singularity at 0).
+    pub fn gain(&self, d: f64) -> f64 {
+        self.power * d.max(1e-6).powf(-self.path_loss)
+    }
+
+    /// Euclidean distance between nodes `i` and `j`.
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        let (xi, yi) = self.positions[i];
+        let (xj, yj) = self.positions[j];
+        (xi - xj).hypot(yi - yj)
+    }
+}
+
+/// The reception rule the engine applies each time-step.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReceptionMode {
+    /// The paper's protocol model (Section 1.1).
+    #[default]
+    Protocol,
+    /// Protocol model with collision detection.
+    ProtocolCd,
+    /// Physical SINR reception (paper, footnote 1).
+    Sinr(SinrConfig),
+}
+
+impl ReceptionMode {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReceptionMode::Protocol => "protocol",
+            ReceptionMode::ProtocolCd => "protocol+cd",
+            ReceptionMode::Sinr(_) => "sinr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_calibration() {
+        let cfg = SinrConfig::for_unit_range(vec![(0.0, 0.0), (1.0, 0.0)], 1.0);
+        // A lone transmitter at exactly distance 1 sits exactly at threshold.
+        let sinr = cfg.gain(1.0) / cfg.noise;
+        assert!((sinr - cfg.threshold).abs() < 1e-9);
+        // Closer is decodable, farther is not.
+        assert!(cfg.gain(0.5) / cfg.noise > cfg.threshold);
+        assert!(cfg.gain(1.5) / cfg.noise < cfg.threshold);
+    }
+
+    #[test]
+    fn gain_monotone() {
+        let cfg = SinrConfig::for_unit_range(vec![], 1.0);
+        assert!(cfg.gain(0.1) > cfg.gain(0.2));
+        assert!(cfg.gain(2.0) > cfg.gain(4.0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ReceptionMode::Protocol.name(), "protocol");
+        assert_eq!(ReceptionMode::ProtocolCd.name(), "protocol+cd");
+        assert_eq!(
+            ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![], 1.0)).name(),
+            "sinr"
+        );
+    }
+
+    #[test]
+    fn default_is_protocol() {
+        assert_eq!(ReceptionMode::default(), ReceptionMode::Protocol);
+    }
+}

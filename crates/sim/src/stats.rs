@@ -1,0 +1,66 @@
+//! Cumulative simulation statistics.
+
+use crate::engine::PhaseReport;
+use serde::{Deserialize, Serialize};
+
+/// Statistics accumulated by a [`Sim`](crate::Sim) across all phases.
+///
+/// `simulated_steps` count real collision-resolved steps; `charged_steps`
+/// are oracle costs added with [`Sim::charge`](crate::Sim::charge) (DESIGN.md
+/// substitution S1). Experiments report the two separately.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Real simulated time-steps.
+    pub simulated_steps: u64,
+    /// Oracle-charged time-steps.
+    pub charged_steps: u64,
+    /// Total transmissions.
+    pub transmissions: u64,
+    /// Successful deliveries.
+    pub deliveries: u64,
+    /// Listener-side collisions (≥ 2 transmitting neighbors).
+    pub collisions: u64,
+}
+
+impl SimStats {
+    /// Total clock: simulated plus charged.
+    pub fn total_steps(&self) -> u64 {
+        self.simulated_steps + self.charged_steps
+    }
+
+    pub(crate) fn absorb_phase(&mut self, rep: &PhaseReport) {
+        self.simulated_steps += rep.steps;
+        self.transmissions += rep.transmissions;
+        self.deliveries += rep.deliveries;
+        self.collisions += rep.collisions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut s = SimStats::default();
+        s.absorb_phase(&PhaseReport {
+            steps: 10,
+            transmissions: 5,
+            deliveries: 3,
+            collisions: 1,
+            completed: true,
+        });
+        s.absorb_phase(&PhaseReport {
+            steps: 2,
+            transmissions: 2,
+            deliveries: 2,
+            collisions: 0,
+            completed: false,
+        });
+        assert_eq!(s.simulated_steps, 12);
+        assert_eq!(s.transmissions, 7);
+        assert_eq!(s.deliveries, 5);
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.total_steps(), 12);
+    }
+}

@@ -1,0 +1,54 @@
+//! Atlas of MPX clusterings: how `Partition(β, MIS)` behaves across graph
+//! families and scales — the geometric heart of the paper (Theorem 2).
+//!
+//! ```sh
+//! cargo run --release --example clustering_atlas
+//! ```
+//!
+//! For each family and each scale `β = 2^{-j}`, prints cluster count, mean
+//! distance to center, and radius — for MIS centers (this paper) and
+//! all-node centers ([CD21]) side by side. Watch `mean·β` track `log_D α`
+//! for MIS centers on the geometric families.
+
+use radionet::analysis::Table;
+use radionet::cluster::mpx::partition;
+use radionet::graph::families::Family;
+use radionet::graph::independent_set::greedy_mis_min_degree;
+use radionet::graph::traversal::diameter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut table = Table::new([
+        "family", "n", "D", "beta", "centers", "clusters", "mean dist", "radius", "mean*beta",
+    ]);
+    for family in [Family::UnitDisk, Family::Grid, Family::Gnp, Family::Spider] {
+        let g = family.instantiate(1024, 1);
+        let d = diameter(&g);
+        let mis = greedy_mis_min_degree(&g);
+        let all: Vec<_> = g.nodes().collect();
+        for j in 1..=3 {
+            let beta = 2f64.powi(-j);
+            for (label, centers) in [("mis", &mis), ("all", &all)] {
+                let c = partition(&g, centers, beta, &mut rng);
+                table.row([
+                    family.name().to_string(),
+                    g.n().to_string(),
+                    d.to_string(),
+                    format!("1/{}", 1 << j),
+                    label.to_string(),
+                    c.cluster_count().to_string(),
+                    format!("{:.2}", c.mean_dist()),
+                    c.radius().to_string(),
+                    format!("{:.2}", c.mean_dist() * beta),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "MIS centers give fewer, flatter clusters at the same β — the mechanism behind\n\
+         the paper's O(D·log_D α) broadcast (Theorem 2; experiment E5)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Cluster-head election in a sensor field via Radio MIS.
+//!
+//! ```sh
+//! cargo run --release --example sensor_field_mis
+//! ```
+//!
+//! A classic use of a maximal independent set in wireless networks: MIS
+//! members become *cluster heads* — no two heads interfere (independence)
+//! and every sensor has a head in range (maximality). This runs the paper's
+//! Algorithm 7, the first MIS algorithm for general-graph radio networks,
+//! and verifies both properties.
+
+use radionet::core::mis::{run_radio_mis, MisConfig, MisStatus};
+use radionet::graph::generators;
+use radionet::graph::independent_set::{is_maximal_independent_set, greedy_mis_min_degree};
+use radionet::sim::{NetInfo, Sim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A denser-in-the-middle deployment: two overlapping uniform squares.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut pts = generators::uniform_points2(220, 8.0, &mut rng);
+    pts.extend(
+        generators::uniform_points2(120, 3.0, &mut rng)
+            .into_iter()
+            .map(|p| radionet::graph::geometry::Point2::new(p.x + 2.5, p.y + 2.5)),
+    );
+    let instance = generators::unit_disk(&pts);
+    let g = &instance.graph;
+    let info = NetInfo::exact(g);
+    println!(
+        "sensor field: n = {}, m = {}, max degree = {}, D = {}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        info.d
+    );
+
+    let mut sim = Sim::new(g, info, 4);
+    let outcome = run_radio_mis(&mut sim, &MisConfig::default());
+    let heads = outcome.mis_nodes();
+
+    println!();
+    println!("radio MIS finished in {} rounds / {} time-steps", outcome.rounds, outcome.steps);
+    println!("cluster heads elected: {}", heads.len());
+    println!(
+        "valid maximal independent set: {}",
+        is_maximal_independent_set(g, &heads)
+    );
+    let uncovered = g
+        .nodes()
+        .filter(|v| {
+            outcome.status[v.index()] == MisStatus::Active
+        })
+        .count();
+    println!("undecided sensors: {uncovered}");
+
+    // Compare against the centralized greedy reference.
+    let greedy = greedy_mis_min_degree(g);
+    println!();
+    println!(
+        "centralized greedy reference: {} heads (radio/greedy size ratio {:.2})",
+        greedy.len(),
+        heads.len() as f64 / greedy.len() as f64
+    );
+    println!(
+        "theory: both are maximal, so each is within a Δ+1 = {} factor of minimum",
+        g.max_degree() + 1
+    );
+}

@@ -1,0 +1,95 @@
+//! Cross-crate end-to-end tests: the full paper pipeline on every graph
+//! family the harness knows.
+
+use radionet::baselines::bgi::{run_bgi_broadcast, BgiConfig};
+use radionet::core::broadcast::run_broadcast;
+use radionet::core::compete::CompeteConfig;
+use radionet::core::leader_election::{run_leader_election, LeaderElectionConfig};
+use radionet::core::mis::{run_radio_mis, MisConfig};
+use radionet::graph::families::Family;
+use radionet::sim::{NetInfo, Sim};
+
+fn small(family: Family) -> (radionet::graph::Graph, NetInfo) {
+    let g = family.instantiate(48, 5);
+    let info = NetInfo::exact(&g);
+    (g, info)
+}
+
+#[test]
+fn broadcast_completes_on_every_family() {
+    for family in Family::ALL {
+        let (g, info) = small(family);
+        let mut sim = Sim::new(&g, info, 21);
+        let out = run_broadcast(&mut sim, g.node(0), 7, &CompeteConfig::default());
+        assert!(
+            out.completed(),
+            "{family}: {}/{} informed",
+            out.compete.best.iter().filter(|b| b.is_some()).count(),
+            g.n()
+        );
+    }
+}
+
+#[test]
+fn bgi_and_compete_agree_on_message() {
+    for family in [Family::Grid, Family::UnitDisk, Family::Gnp] {
+        let (g, info) = small(family);
+        let mut sim = Sim::new(&g, info, 3);
+        let a = run_broadcast(&mut sim, g.node(0), 99, &CompeteConfig::default());
+        let mut sim = Sim::new(&g, info, 3);
+        let b = run_bgi_broadcast(&mut sim, g.node(0), 99, &BgiConfig::default());
+        assert!(a.completed() && b.completed(), "{family}");
+        assert_eq!(a.compete.best, b.best, "{family}: different final knowledge");
+    }
+}
+
+#[test]
+fn radio_mis_valid_on_every_family() {
+    for family in Family::ALL {
+        let (g, info) = small(family);
+        let mut sim = Sim::new(&g, info, 13);
+        let out = run_radio_mis(&mut sim, &MisConfig::default());
+        assert!(out.is_valid(&g), "{family}: invalid MIS");
+    }
+}
+
+#[test]
+fn leader_election_succeeds_on_core_families() {
+    for family in [Family::Grid, Family::UnitDisk, Family::Cycle, Family::Spider] {
+        let g = family.instantiate(64, 9);
+        let info = NetInfo::exact(&g);
+        let mut sim = Sim::new(&g, info, 17);
+        let out = run_leader_election(&mut sim, 17, &LeaderElectionConfig::default());
+        assert!(out.succeeded(), "{family}: election failed");
+    }
+}
+
+#[test]
+fn compete_beats_budget_on_growth_bounded() {
+    // Corollary 9 sanity: completion within the configured
+    // O(D log_D α + polylog) budget on a growth-bounded instance.
+    let g = Family::UnitDisk.instantiate(96, 3);
+    let info = NetInfo::exact(&g);
+    let config = CompeteConfig::default();
+    let mut sim = Sim::new(&g, info, 5);
+    let out = run_broadcast(&mut sim, g.node(0), 5, &config);
+    assert!(out.completed());
+    let t = out.completion_time().unwrap() as f64;
+    let l = info.log_n() as f64;
+    let bound = config.budget_factor * info.d as f64 * info.log_d_alpha()
+        + config.budget_polylog_factor * l * l * l
+        + out.compete.clock_setup as f64;
+    assert!(t <= bound, "time {t} exceeds budget {bound}");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let g = Family::Grid.instantiate(49, 2);
+    let info = NetInfo::exact(&g);
+    let run = |seed: u64| {
+        let mut sim = Sim::new(&g, info, seed);
+        let out = run_broadcast(&mut sim, g.node(0), 7, &CompeteConfig::default());
+        (out.completion_time(), out.compete.best.clone())
+    };
+    assert_eq!(run(77), run(77));
+}

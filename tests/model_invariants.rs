@@ -1,0 +1,140 @@
+//! Property tests of the radio-model invariants across crates: the engine's
+//! reception rule against a brute-force reference, partition laws, schedule
+//! conflict-freeness on random clusterings.
+
+use proptest::prelude::*;
+use radionet::cluster::mpx;
+use radionet::cluster::ClusterSchedule;
+use radionet::graph::independent_set::greedy_mis_min_degree;
+use radionet::graph::{GraphBuilder, Graph};
+use radionet::sim::{Action, NetInfo, NodeCtx, Protocol, Sim};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24, proptest::collection::vec((0usize..24, 0usize..24), 0..60)).prop_map(
+        |(n, pairs)| {
+            let mut b = GraphBuilder::new(n);
+            // Spanning path guarantees connectivity.
+            for i in 1..n {
+                b.add_edge(i - 1, i);
+            }
+            for (u, v) in pairs {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+/// A protocol with a fixed transmit pattern, recording receptions.
+struct Scripted {
+    transmit_steps: Vec<bool>,
+    heard: Vec<(u64, u32)>,
+    id: u32,
+}
+
+impl Protocol for Scripted {
+    type Msg = u32;
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<u32> {
+        if self
+            .transmit_steps
+            .get(ctx.time as usize)
+            .copied()
+            .unwrap_or(false)
+        {
+            Action::Transmit(self.id)
+        } else {
+            Action::Listen
+        }
+    }
+    fn on_hear(&mut self, ctx: &mut NodeCtx<'_>, msg: &u32) {
+        self.heard.push((ctx.time, *msg));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine delivers exactly when the model says: listener hears msg
+    /// at step t iff exactly one neighbor transmitted at t.
+    #[test]
+    fn reception_matches_bruteforce(
+        g in arb_connected_graph(),
+        patterns in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 6), 24),
+    ) {
+        let steps = 6u64;
+        let info = NetInfo { n: g.n(), d: 4, alpha: 4.0 };
+        let mut sim = Sim::new(&g, info, 0);
+        let mut states: Vec<Scripted> = g
+            .nodes()
+            .map(|v| Scripted {
+                transmit_steps: patterns
+                    .get(v.index())
+                    .cloned()
+                    .unwrap_or_else(|| vec![false; steps as usize]),
+                heard: Vec::new(),
+                id: v.index() as u32,
+            })
+            .collect();
+        sim.run_phase(&mut states, steps);
+        for v in g.nodes() {
+            for t in 0..steps {
+                let tx_neighbors: Vec<u32> = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|u| {
+                        patterns
+                            .get(u.index())
+                            .map(|p| p[t as usize])
+                            .unwrap_or(false)
+                    })
+                    .map(|u| u.index() as u32)
+                    .collect();
+                let self_tx = patterns
+                    .get(v.index())
+                    .map(|p| p[t as usize])
+                    .unwrap_or(false);
+                let expected = (!self_tx && tx_neighbors.len() == 1)
+                    .then(|| tx_neighbors[0]);
+                let actual = states[v.index()]
+                    .heard
+                    .iter()
+                    .find(|(ht, _)| *ht == t)
+                    .map(|(_, m)| *m);
+                prop_assert_eq!(
+                    actual, expected,
+                    "node {} step {}: {:?} vs {:?}", v.index(), t, actual, expected
+                );
+            }
+        }
+    }
+
+    /// Abstract partition over any maximal independent set is a partition
+    /// whose clusters are non-empty stars around their centers.
+    #[test]
+    fn partition_laws(g in arb_connected_graph(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mis = greedy_mis_min_degree(&g);
+        let c = mpx::partition(&g, &mis, 0.5, &mut rng);
+        prop_assert!(c.validate(&g));
+        // Connected graph + maximal-independent centers: everyone clustered.
+        prop_assert!(c.cluster_of.iter().all(|x| x.is_some()));
+        // MIS centers ⇒ every node within 1 of SOME center, so its own
+        // center is within 1 + δ of it; radius is certainly ≤ n.
+        prop_assert!((c.radius() as usize) <= g.n());
+    }
+
+    /// Cluster schedules built on random clusterings verify conflict-free.
+    #[test]
+    fn schedules_conflict_free(g in arb_connected_graph(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mis = greedy_mis_min_degree(&g);
+        let c = mpx::partition(&g, &mis, 0.3, &mut rng);
+        let s = ClusterSchedule::build(&g, &c);
+        prop_assert!(s.verify(&g));
+    }
+}

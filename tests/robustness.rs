@@ -1,0 +1,111 @@
+//! Robustness and failure-injection tests: estimate slack, disconnected
+//! inputs, exhausted budgets, adversarial seeds.
+
+use radionet::core::broadcast::run_broadcast;
+use radionet::core::compete::CompeteConfig;
+use radionet::core::mis::{run_radio_mis, MisConfig};
+use radionet::graph::families::Family;
+use radionet::graph::Graph;
+use radionet::sim::{CostModel, NetInfo, Sim};
+
+#[test]
+fn estimate_slack_tolerated() {
+    // The ad-hoc model only promises linear upper estimates of n and D and
+    // a polynomial approximation of α; double everything and the pipeline
+    // must still work (paper, Section 1.1).
+    let g = Family::Grid.instantiate(49, 3);
+    let info = NetInfo::with_slack(&g, 2.0);
+    let mut sim = Sim::new(&g, info, 9);
+    let out = run_broadcast(&mut sim, g.node(0), 5, &CompeteConfig::default());
+    assert!(out.completed(), "slack-2 estimates broke broadcast");
+
+    let mut sim = Sim::new(&g, info, 10);
+    let mis = run_radio_mis(&mut sim, &MisConfig::default());
+    assert!(mis.is_valid(&g), "slack-2 estimates broke MIS");
+}
+
+#[test]
+fn mis_works_disconnected() {
+    // MIS is a local problem: no connectivity needed (paper, Section 1.2).
+    let mut edges = Vec::new();
+    // Three components: a triangle, an edge, an isolated node.
+    edges.extend([(0, 1), (1, 2), (2, 0), (3, 4)]);
+    let g = Graph::from_edges(6, edges).unwrap();
+    let info = NetInfo { n: 6, d: 2, alpha: 3.0 };
+    let mut sim = Sim::new(&g, info, 4);
+    let out = run_radio_mis(&mut sim, &MisConfig::default());
+    assert!(out.is_valid(&g));
+    // The isolated node must be in the MIS.
+    assert!(out.mis_flags()[5]);
+}
+
+#[test]
+fn tiny_graphs() {
+    for n in [4usize, 5, 6] {
+        let g = Family::Path.instantiate(n, 0);
+        let info = NetInfo::exact(&g);
+        let mut sim = Sim::new(&g, info, 2);
+        let out = run_broadcast(&mut sim, g.node(0), 1, &CompeteConfig::default());
+        assert!(out.completed(), "path of {n}");
+    }
+}
+
+#[test]
+fn free_cost_model_still_correct() {
+    // Disabling charged costs only changes accounting, not behavior.
+    let g = Family::UnitDisk.instantiate(48, 7);
+    let info = NetInfo::exact(&g);
+    let config = CompeteConfig { cost: CostModel::free(), ..CompeteConfig::default() };
+    let mut sim = Sim::new(&g, info, 3);
+    let out = run_broadcast(&mut sim, g.node(0), 2, &config);
+    assert!(out.completed());
+    assert_eq!(sim.stats().charged_steps, 0);
+}
+
+#[test]
+fn starved_budget_reports_incomplete() {
+    // A propagation budget of ~zero cannot inform a long path; the outcome
+    // must say so rather than lie.
+    let g = Family::Path.instantiate(96, 0);
+    let info = NetInfo::exact(&g);
+    let config = CompeteConfig {
+        budget_factor: 0.0,
+        budget_polylog_factor: 0.0,
+        sequence_exp: 0.0, // 4 rounds minimum
+        ..CompeteConfig::default()
+    };
+    let mut sim = Sim::new(&g, info, 3);
+    let out = run_broadcast(&mut sim, g.node(95), 2, &config);
+    assert!(!out.completed());
+    assert!(out.completion_time().is_none());
+}
+
+#[test]
+fn many_seeds_broadcast_whp() {
+    // "whp" sanity: 20 independent seeds on one instance, all complete.
+    let g = Family::Grid.instantiate(36, 1);
+    let info = NetInfo::exact(&g);
+    let mut failures = 0;
+    for seed in 0..20u64 {
+        let mut sim = Sim::new(&g, info, seed);
+        let out = run_broadcast(&mut sim, g.node(0), 3, &CompeteConfig::default());
+        if !out.completed() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures}/20 broadcasts failed");
+}
+
+#[test]
+fn many_seeds_mis_whp() {
+    let g = Family::Gnp.instantiate(64, 2);
+    let info = NetInfo::exact(&g);
+    let mut failures = 0;
+    for seed in 0..20u64 {
+        let mut sim = Sim::new(&g, info, seed);
+        if !run_radio_mis(&mut sim, &MisConfig::default()).is_valid(&g) {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures}/20 MIS runs invalid");
+}
