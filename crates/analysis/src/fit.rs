@@ -50,8 +50,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
     let intercept = (sy - b * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        logs.iter().map(|(x, y)| (y - (intercept + b * x)).powi(2)).sum();
+    let ss_res: f64 = logs.iter().map(|(x, y)| (y - (intercept + b * x)).powi(2)).sum();
     let r_squared = if ss_tot <= 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
     Some(PowerLawFit { a: intercept.exp(), b, r_squared })
 }
@@ -62,7 +61,8 @@ mod tests {
 
     #[test]
     fn exact_power_law_recovered() {
-        let pts: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 3.0 * (i as f64).powf(2.5))).collect();
+        let pts: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, 3.0 * (i as f64).powf(2.5))).collect();
         let fit = fit_power_law(&pts).unwrap();
         assert!((fit.b - 2.5).abs() < 1e-9, "b = {}", fit.b);
         assert!((fit.a - 3.0).abs() < 1e-6, "a = {}", fit.a);

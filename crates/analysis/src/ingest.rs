@@ -1,0 +1,96 @@
+//! Ingestion helpers: grouping and summarizing externally produced
+//! [`RunRecord`] rows (e.g. the scenario sweep runner's output) into the
+//! aggregate views the tables print.
+
+use crate::experiment::RunRecord;
+use crate::stats::Summary;
+use std::collections::BTreeMap;
+
+/// Groups rows by the values of `keys` (joined with `/`), preserving
+/// first-seen group order, and summarizes `metric` within each group.
+///
+/// Rows missing the metric are skipped; rows missing a key get `"?"` for
+/// that component.
+pub fn group_summaries<'a>(
+    rows: impl IntoIterator<Item = &'a RunRecord>,
+    keys: &[&str],
+    metric: &str,
+) -> Vec<(String, Summary)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut buckets: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for row in rows {
+        let Some(value) = row.metrics.get(metric) else { continue };
+        let label = keys
+            .iter()
+            .map(|k| row.params.get(*k).map(String::as_str).unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join("/");
+        if !buckets.contains_key(&label) {
+            order.push(label.clone());
+        }
+        buckets.entry(label).or_default().push(*value);
+    }
+    order
+        .into_iter()
+        .map(|label| {
+            let summary = Summary::of(&buckets[&label]);
+            (label, summary)
+        })
+        .collect()
+}
+
+/// The fraction of rows in which `metric` equals 1.0 (success-rate
+/// aggregation for boolean metrics), or `None` if no row carries it.
+pub fn success_rate<'a>(
+    rows: impl IntoIterator<Item = &'a RunRecord>,
+    metric: &str,
+) -> Option<f64> {
+    let values: Vec<f64> =
+        rows.into_iter().filter_map(|r| r.metrics.get(metric)).copied().collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().filter(|v| **v == 1.0).count() as f64 / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scenario: &str, n: u64, time: f64, ok: f64) -> RunRecord {
+        RunRecord::new()
+            .param("scenario", scenario)
+            .param("n", n)
+            .metric("clock_total", time)
+            .metric("success", ok)
+    }
+
+    #[test]
+    fn groups_preserve_order_and_summarize() {
+        let rows = vec![
+            row("churn", 64, 100.0, 1.0),
+            row("split", 64, 300.0, 0.0),
+            row("churn", 64, 200.0, 1.0),
+        ];
+        let groups = group_summaries(&rows, &["scenario", "n"], "clock_total");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "churn/64");
+        assert_eq!(groups[0].1.count, 2);
+        assert!((groups[0].1.mean - 150.0).abs() < 1e-9);
+        assert_eq!(groups[1].0, "split/64");
+    }
+
+    #[test]
+    fn missing_metric_rows_skipped() {
+        let rows = vec![row("a", 1, 5.0, 1.0), RunRecord::new().param("scenario", "a")];
+        let groups = group_summaries(&rows, &["scenario"], "clock_total");
+        assert_eq!(groups[0].1.count, 1);
+    }
+
+    #[test]
+    fn success_rates() {
+        let rows = vec![row("a", 1, 0.0, 1.0), row("a", 1, 0.0, 0.0)];
+        assert_eq!(success_rate(&rows, "success"), Some(0.5));
+        assert_eq!(success_rate(&rows, "nope"), None);
+    }
+}

@@ -9,10 +9,12 @@
 
 pub mod experiment;
 pub mod fit;
+pub mod ingest;
 pub mod stats;
 pub mod table;
 
 pub use experiment::{ExperimentRecord, RunRecord};
 pub use fit::{fit_power_law, PowerLawFit};
+pub use ingest::{group_summaries, success_rate};
 pub use stats::Summary;
 pub use table::Table;

@@ -35,14 +35,7 @@ impl Summary {
             0.0
         };
         let median = if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 };
-        Summary {
-            count: n,
-            mean,
-            std_dev: var.sqrt(),
-            min: v[0],
-            median,
-            max: v[n - 1],
-        }
+        Summary { count: n, mean, std_dev: var.sqrt(), min: v[0], median, max: v[n - 1] }
     }
 
     /// Half-width of a ~95% normal-approximation confidence interval on the

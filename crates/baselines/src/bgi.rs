@@ -6,7 +6,7 @@
 use radionet_graph::{Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::flood::FloodProtocol;
-use radionet_sim::{NetInfo, Sim};
+use radionet_sim::{NetInfo, Sim, TopologyView};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the BGI broadcast baseline.
@@ -51,8 +51,8 @@ impl BgiOutcome {
 }
 
 /// Runs the BGI broadcast of `message` from `source`.
-pub fn run_bgi_broadcast(
-    sim: &mut Sim<'_>,
+pub fn run_bgi_broadcast<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     source: NodeId,
     message: u64,
     config: &BgiConfig,
@@ -63,8 +63,8 @@ pub fn run_bgi_broadcast(
 
 /// Multi-source variant (the highest message wins), used by the naive
 /// leader-election baseline.
-pub fn run_bgi_multi(
-    sim: &mut Sim<'_>,
+pub fn run_bgi_multi<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     sources: &[(NodeId, u64)],
     config: &BgiConfig,
 ) -> BgiOutcome {
@@ -127,7 +127,8 @@ mod tests {
     fn multi_source_max_wins() {
         let g = generators::cycle(24);
         let mut sim = Sim::new(&g, NetInfo::exact(&g), 4);
-        let out = run_bgi_multi(&mut sim, &[(g.node(0), 5), (g.node(12), 8)], &BgiConfig::default());
+        let out =
+            run_bgi_multi(&mut sim, &[(g.node(0), 5), (g.node(12), 8)], &BgiConfig::default());
         assert!(out.completed());
         assert!(out.best.iter().all(|b| *b == Some(8)));
     }

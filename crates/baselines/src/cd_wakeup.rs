@@ -11,7 +11,7 @@
 //! the gap against Decay-based flooding under the paper's model.
 
 use radionet_graph::NodeId;
-use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim};
+use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the CD wake-up flood.
@@ -94,8 +94,8 @@ pub struct CdWakeupOutcome {
 /// Panics if `sim` does not run under
 /// [`ReceptionMode::ProtocolCd`] — without CD this protocol stalls at the
 /// first collision, which would silently measure the wrong thing.
-pub fn run_cd_wakeup(
-    sim: &mut Sim<'_>,
+pub fn run_cd_wakeup<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     source: NodeId,
     config: &CdWakeupConfig,
 ) -> CdWakeupOutcome {
@@ -104,11 +104,8 @@ pub fn run_cd_wakeup(
         &ReceptionMode::ProtocolCd,
         "CD wake-up requires collision detection"
     );
-    let mut states: Vec<CdWakeupNode> = sim
-        .graph()
-        .nodes()
-        .map(|v| CdWakeupNode::new(v == source))
-        .collect();
+    let mut states: Vec<CdWakeupNode> =
+        sim.graph().nodes().map(|v| CdWakeupNode::new(v == source)).collect();
     let rep = sim.run_phase(&mut states, config.max_steps);
     CdWakeupOutcome {
         completion_steps: rep.completed.then_some(rep.steps),

@@ -12,7 +12,7 @@
 //! baselines).
 
 use radionet_graph::NodeId;
-use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, Sim};
+use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, Sim, TopologyView};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -94,8 +94,8 @@ impl Protocol for CrNode {
 /// Runs the CR-style broadcast of `message` from `source`; returns
 /// `(per-node knowledge, clock when all informed, total clock)` packaged as
 /// a [`crate::bgi::BgiOutcome`] (same shape as the BGI baseline).
-pub fn run_cr_broadcast(
-    sim: &mut Sim<'_>,
+pub fn run_cr_broadcast<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     source: NodeId,
     message: u64,
     config: &CrConfig,

@@ -94,18 +94,14 @@ pub fn ghaffari_local_mis<R: Rng + ?Sized>(
     let mut remaining = n;
     while remaining > 0 && rounds < round_cap {
         rounds += 1;
-        let marked: Vec<bool> = (0..n)
-            .map(|i| active[i] && rng.gen_bool(p[i].clamp(0.0, 1.0)))
-            .collect();
+        let marked: Vec<bool> =
+            (0..n).map(|i| active[i] && rng.gen_bool(p[i].clamp(0.0, 1.0))).collect();
         // Joins: marked with no marked active neighbor.
         let mut joins = Vec::new();
         for v in g.nodes() {
             if active[v.index()]
                 && marked[v.index()]
-                && !g
-                    .neighbors(v)
-                    .iter()
-                    .any(|u| active[u.index()] && marked[u.index()])
+                && !g.neighbors(v).iter().any(|u| active[u.index()] && marked[u.index()])
             {
                 joins.push(v);
             }
@@ -129,11 +125,7 @@ pub fn ghaffari_local_mis<R: Rng + ?Sized>(
         let d: Vec<f64> = g
             .nodes()
             .map(|v| {
-                g.neighbors(v)
-                    .iter()
-                    .filter(|u| active[u.index()])
-                    .map(|u| p[u.index()])
-                    .sum()
+                g.neighbors(v).iter().filter(|u| active[u.index()]).map(|u| p[u.index()]).sum()
             })
             .collect();
         for i in 0..n {

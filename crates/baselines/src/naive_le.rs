@@ -7,7 +7,7 @@
 
 use crate::bgi::{run_bgi_multi, BgiConfig, BgiOutcome};
 use radionet_primitives::ids::random_id;
-use radionet_sim::Sim;
+use radionet_sim::{Sim, TopologyView};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -44,8 +44,7 @@ impl NaiveLeOutcome {
         match self.leader {
             None => false,
             Some(id) => {
-                let maxes =
-                    self.candidate_ids.iter().flatten().filter(|&&c| c == id).count();
+                let maxes = self.candidate_ids.iter().flatten().filter(|&&c| c == id).count();
                 maxes == 1 && self.flood.best.iter().all(|b| *b == Some(id))
             }
         }
@@ -53,8 +52,8 @@ impl NaiveLeOutcome {
 }
 
 /// Runs the baseline election.
-pub fn run_naive_leader_election(
-    sim: &mut Sim<'_>,
+pub fn run_naive_leader_election<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     le_seed: u64,
     config: &NaiveLeConfig,
 ) -> NaiveLeOutcome {
@@ -62,9 +61,8 @@ pub fn run_naive_leader_election(
     let n_est = sim.info().n;
     let p = (config.candidate_factor * (n_est.max(2) as f64).log2() / n_est as f64).min(1.0);
     let mut rng = SmallRng::seed_from_u64(le_seed ^ 0x0af1e);
-    let candidate_ids: Vec<Option<u64>> = (0..n)
-        .map(|_| rng.gen_bool(p).then(|| random_id(n_est, &mut rng)))
-        .collect();
+    let candidate_ids: Vec<Option<u64>> =
+        (0..n).map(|_| rng.gen_bool(p).then(|| random_id(n_est, &mut rng))).collect();
     let sources: Vec<_> = candidate_ids
         .iter()
         .enumerate()

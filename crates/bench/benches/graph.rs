@@ -19,22 +19,14 @@ fn bench_graph(c: &mut Criterion) {
     });
 
     let grid = generators::grid2d(48, 48);
-    group.bench_function("diameter_exact_grid_2304", |b| {
-        b.iter(|| diameter_exact(&grid))
-    });
-    group.bench_function("diameter_ifub_grid_2304", |b| {
-        b.iter(|| diameter_ifub(&grid))
-    });
+    group.bench_function("diameter_exact_grid_2304", |b| b.iter(|| diameter_exact(&grid)));
+    group.bench_function("diameter_ifub_grid_2304", |b| b.iter(|| diameter_ifub(&grid)));
 
     let gnp = Family::Gnp.instantiate(60, 3);
-    group.bench_function("alpha_exact_gnp_60", |b| {
-        b.iter(|| alpha_bounds(&gnp, 500_000).lower)
-    });
+    group.bench_function("alpha_exact_gnp_60", |b| b.iter(|| alpha_bounds(&gnp, 500_000).lower));
 
     let big = Family::UnitDisk.instantiate(2048, 3);
-    group.bench_function("alpha_bracket_udg_2048", |b| {
-        b.iter(|| alpha_bounds(&big, 2_000).upper)
-    });
+    group.bench_function("alpha_bracket_udg_2048", |b| b.iter(|| alpha_bounds(&big, 2_000).upper));
 
     group.finish();
 }

@@ -32,8 +32,7 @@ fn bench_partition(c: &mut Criterion) {
     group.bench_function("radio_partition_grid_256", |b| {
         b.iter(|| {
             let mut sim = Sim::new(&small, info, 3);
-            run_radio_partition(&mut sim, &flags, 0.25, RadioPartitionConfig::default())
-                .coverage()
+            run_radio_partition(&mut sim, &flags, 0.25, RadioPartitionConfig::default()).coverage()
         })
     });
 

@@ -1,0 +1,46 @@
+//! Sequential vs rayon sweep runner on a Quick-scale scenario grid.
+//!
+//! On a multi-core host the parallel runner's advantage is roughly the core
+//! count (cells are embarrassingly parallel and identically seeded); on a
+//! single-core host the two runners time alike, which is itself the honest
+//! result. The recorded speedup is printed after the two benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use radionet_scenario::runner::{run_sweep_parallel, run_sweep_sequential, SweepConfig};
+use radionet_scenario::Scenario;
+use std::time::Instant;
+
+fn quick_grid() -> SweepConfig {
+    // A small all-catalogue grid: every dynamics class, one size, one seed.
+    SweepConfig { scenarios: Scenario::catalogue(), sizes: vec![48], seeds: 1, base_seed: 0xbe9c }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let config = quick_grid();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| run_sweep_sequential(&config)));
+    group.bench_function(format!("rayon_{}_threads", rayon::current_num_threads()), |b| {
+        b.iter(|| run_sweep_parallel(&config))
+    });
+    group.finish();
+
+    // One directly comparable pair, printed as a speedup figure.
+    let t0 = Instant::now();
+    let seq = run_sweep_sequential(&config);
+    let t_seq = t0.elapsed();
+    let t1 = Instant::now();
+    let par = run_sweep_parallel(&config);
+    let t_par = t1.elapsed();
+    assert_eq!(seq, par, "runners diverged");
+    println!(
+        "sweep speedup: sequential {:.2?} / rayon({}) {:.2?} = {:.2}x",
+        t_seq,
+        rayon::current_num_threads(),
+        t_par,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+    );
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -59,19 +59,11 @@ fn run_algo(case: &GraphCase, algo: Algo, seed: u64) -> (f64, bool, f64) {
         }
         Algo::Bgi => {
             let out = run_bgi_broadcast(&mut sim, src, 42, &BgiConfig::default());
-            (
-                out.clock_all_informed.unwrap_or(out.clock_total) as f64,
-                out.completed(),
-                0.0,
-            )
+            (out.clock_all_informed.unwrap_or(out.clock_total) as f64, out.completed(), 0.0)
         }
         Algo::Cr => {
             let out = run_cr_broadcast(&mut sim, src, 42, &CrConfig::default());
-            (
-                out.clock_all_informed.unwrap_or(out.clock_total) as f64,
-                out.completed(),
-                0.0,
-            )
+            (out.clock_all_informed.unwrap_or(out.clock_total) as f64, out.completed(), 0.0)
         }
     }
 }
@@ -219,11 +211,7 @@ fn summarize_broadcast(record: &mut ExperimentRecord) {
             mean(&largest("bgi", true)),
             mean(&largest("compete-alpha", false)),
             mean(&largest("compete-n(CD21)", false)),
-            record
-                .runs
-                .iter()
-                .map(|r| r.metrics["success_rate"])
-                .fold(1.0f64, f64::min),
+            record.runs.iter().map(|r| r.metrics["success_rate"]).fold(1.0f64, f64::min),
         )
     };
     record.note(format!(
@@ -240,15 +228,7 @@ pub fn e9_leader_election(scale: Scale) -> ExperimentRecord {
     let claim = "Theorem 8: leader election in O(D log_D alpha + polylog n) whp";
     banner("E9", claim);
     let mut record = ExperimentRecord::new("E9", claim);
-    let mut table = Table::new([
-        "family",
-        "n",
-        "D",
-        "algorithm",
-        "success",
-        "time",
-        "candidates",
-    ]);
+    let mut table = Table::new(["family", "n", "D", "algorithm", "success", "time", "candidates"]);
     let families = match scale {
         Scale::Quick => vec![Family::Grid],
         Scale::Full => vec![Family::Grid, Family::UnitDisk, Family::Gnp, Family::Spider],
@@ -267,10 +247,7 @@ pub fn e9_leader_election(scale: Scale) -> ExperimentRecord {
                 if out.succeeded() {
                     ok += 1;
                 }
-                time += out
-                    .compete
-                    .clock_all_informed
-                    .unwrap_or(out.compete.clock_total) as f64;
+                time += out.compete.clock_all_informed.unwrap_or(out.compete.clock_total) as f64;
                 cands += out.candidate_count() as f64;
             }
             let k = seeds as f64;

@@ -40,8 +40,7 @@ fn mean_center_distance(
     for _ in 0..trials {
         let shifts = draw_shifts(centers, beta, None, rng);
         let c = partition_with_shifts(g, &shifts);
-        let ds: Vec<f64> =
-            c.dist.iter().filter(|&&d| d != u32::MAX).map(|&d| d as f64).collect();
+        let ds: Vec<f64> = c.dist.iter().filter(|&&d| d != u32::MAX).map(|&d| d as f64).collect();
         acc += ds.iter().sum::<f64>() / ds.len().max(1) as f64;
     }
     acc / trials as f64
@@ -131,11 +130,7 @@ pub fn e5_cluster_distance(scale: Scale) -> ExperimentRecord {
     // Key separation: on geometric families, dist·β/log_D α stays bounded as
     // n grows while the all-centers normalization w.r.t. log_D n does too —
     // but the *ratio* of raw distances tracks log_D n / log_D α.
-    let good_min = record
-        .runs
-        .iter()
-        .map(|r| r.metrics["good_j_fraction"])
-        .fold(1.0f64, f64::min);
+    let good_min = record.runs.iter().map(|r| r.metrics["good_j_fraction"]).fold(1.0f64, f64::min);
     record.note(format!(
         "min good-j fraction (MIS centers): {good_min:.2}; Theorem 2 promises ≥ 0.77 asymptotically"
     ));
@@ -227,12 +222,7 @@ pub fn e7_lemma4(scale: Scale) -> ExperimentRecord {
     let claim = "Lemma 3: E[dist] <= 5 S_beta; Lemma 4: S_beta = O(b 2^j) under the condition";
     banner("E7", claim);
     let mut record = ExperimentRecord::new("E7", claim);
-    let mut table = Table::new([
-        "family",
-        "n",
-        "max E[dist]/S_beta (<=5)",
-        "max S_beta/(b 2^j)",
-    ]);
+    let mut table = Table::new(["family", "n", "max E[dist]/S_beta (<=5)", "max S_beta/(b 2^j)"]);
     let trials = match scale {
         Scale::Quick => 8,
         Scale::Full => 25,
@@ -275,12 +265,7 @@ pub fn e7_lemma4(scale: Scale) -> ExperimentRecord {
                 }
             }
         }
-        table.row([
-            family.name().to_string(),
-            g.n().to_string(),
-            f3(max_lemma3),
-            f3(max_lemma4),
-        ]);
+        table.row([family.name().to_string(), g.n().to_string(), f3(max_lemma3), f3(max_lemma4)]);
         record.push(
             RunRecord::new()
                 .param("family", family.name())
@@ -290,11 +275,8 @@ pub fn e7_lemma4(scale: Scale) -> ExperimentRecord {
         );
     }
     println!("{}", table.render());
-    let worst3 = record
-        .runs
-        .iter()
-        .map(|r| r.metrics["max_dist_over_s_beta"])
-        .fold(0.0f64, f64::max);
+    let worst3 =
+        record.runs.iter().map(|r| r.metrics["max_dist_over_s_beta"]).fold(0.0f64, f64::max);
     record.note(format!("Lemma 3 measured constant: {worst3:.2} (paper proves ≤ 5)"));
     print_notes(&record);
     record

@@ -17,8 +17,7 @@ pub fn e3_mis_scaling(scale: Scale) -> ExperimentRecord {
     let claim = "Theorem 14: Radio MIS valid whp in O(log^3 n) time-steps";
     banner("E3", claim);
     let mut record = ExperimentRecord::new("E3", claim);
-    let mut table =
-        Table::new(["family", "n", "valid", "rounds", "steps", "steps/log^3 n"]);
+    let mut table = Table::new(["family", "n", "valid", "rounds", "steps", "steps/log^3 n"]);
     let families = [Family::Gnp, Family::UnitDisk, Family::Grid, Family::Path, Family::Clique];
     let mut fit_points: Vec<(f64, f64)> = Vec::new();
     for family in families {
@@ -68,9 +67,8 @@ pub fn e3_mis_scaling(scale: Scale) -> ExperimentRecord {
             fit.a, fit.b, fit.r_squared
         ));
     }
-    let total_valid: f64 =
-        record.runs.iter().map(|r| r.metrics["valid_rate"]).sum::<f64>()
-            / record.runs.len().max(1) as f64;
+    let total_valid: f64 = record.runs.iter().map(|r| r.metrics["valid_rate"]).sum::<f64>()
+        / record.runs.len().max(1) as f64;
     record.note(format!("overall validity rate: {total_valid:.3}"));
     print_notes(&record);
     record
@@ -162,18 +160,12 @@ pub fn e10_golden_rounds(scale: Scale) -> ExperimentRecord {
             let out = run_radio_mis(&mut sim, &config);
             // Reconstruct per-round effective degrees from the histories:
             // node u is active in round r iff it has a record at index r.
-            let max_rounds =
-                out.history.iter().map(|h| h.len()).max().unwrap_or(0);
+            let max_rounds = out.history.iter().map(|h| h.len()).max().unwrap_or(0);
             for r in 0..max_rounds {
                 // d_r(v) over active neighbors; low-degree set for type 2.
-                let p_of = |i: usize| -> Option<f64> {
-                    out.history[i].get(r).map(|rec| rec.p)
-                };
+                let p_of = |i: usize| -> Option<f64> { out.history[i].get(r).map(|rec| rec.p) };
                 let d_of = |i: usize| -> f64 {
-                    g.neighbors(g.node(i))
-                        .iter()
-                        .filter_map(|u| p_of(u.index()))
-                        .sum()
+                    g.neighbors(g.node(i)).iter().filter_map(|u| p_of(u.index())).sum()
                 };
                 for v in g.nodes() {
                     let i = v.index();
@@ -228,11 +220,8 @@ pub fn e10_golden_rounds(scale: Scale) -> ExperimentRecord {
         );
     }
     println!("{}", table.render());
-    let min_p = record
-        .runs
-        .iter()
-        .map(|r| r.metrics["p_removed_given_golden"])
-        .fold(1.0f64, f64::min);
+    let min_p =
+        record.runs.iter().map(|r| r.metrics["p_removed_given_golden"]).fold(1.0f64, f64::min);
     record.note(format!(
         "min P(removed | golden round) = {min_p:.3} — the paper's bound is 1/8004 ≈ 0.000125 (loose by design)"
     ));

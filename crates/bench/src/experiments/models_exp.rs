@@ -48,8 +48,7 @@ pub fn e13_models(scale: Scale) -> ExperimentRecord {
         let mut sim = Sim::new(g, info, 3);
         let bgi = run_bgi_broadcast(&mut sim, src, 1, &BgiConfig::default());
         let cd_t = cd.completion_steps.map(|t| t as f64).unwrap_or(f64::NAN);
-        let bgi_t =
-            bgi.clock_all_informed.map(|t| t as f64).unwrap_or(f64::NAN);
+        let bgi_t = bgi.clock_all_informed.map(|t| t as f64).unwrap_or(f64::NAN);
         table.row([
             g.n().to_string(),
             info.d.to_string(),
@@ -98,8 +97,7 @@ pub fn e13_models(scale: Scale) -> ExperimentRecord {
                 .map(|v| FloodProtocol::new(schedule, (v.index() == 0).then_some(9)))
                 .collect();
             sim.run_phase(&mut states, budget);
-            let informed =
-                states.iter().filter(|s| s.best().is_some()).count();
+            let informed = states.iter().filter(|s| s.best().is_some()).count();
             let stats = *sim.stats();
             table.row([
                 g.n().to_string(),
@@ -167,16 +165,20 @@ pub fn e13_models(scale: Scale) -> ExperimentRecord {
         );
     }
     println!("{}", table.render());
-    record.note("CD wake-up completes in exactly ecc(src) ≤ D steps — the capability the \
-                 no-CD lower bounds forbid");
+    record.note(
+        "CD wake-up completes in exactly ecc(src) ≤ D steps — the capability the \
+                 no-CD lower bounds forbid",
+    );
     record.note(
         "SINR is two-sided vs the protocol model: capture decodes strong links through \
          collisions, but interference suppresses edge-of-range links, so the same Decay \
          schedule can leave border nodes uninformed — the abstraction is neither strictly \
          pessimistic nor optimistic (footnote 1)",
     );
-    record.note("the paper's D·log_D α beats the granularity bound whenever g² ≫ log_D α·D \
-                 (dense deployments) and is never asymptotically worse on these instances");
+    record.note(
+        "the paper's D·log_D α beats the granularity bound whenever g² ≫ log_D α·D \
+                 (dense deployments) and is never asymptotically worse on these instances",
+    );
     print_notes(&record);
     record
 }

@@ -161,10 +161,7 @@ pub fn partition<R: Rng + ?Sized>(
 ///
 /// Panics if `centers` is empty while the graph is not.
 pub fn partition_with_shifts(g: &Graph, shifts: &Shifts) -> Clustering {
-    assert!(
-        !shifts.centers.is_empty() || g.n() == 0,
-        "partition needs at least one center"
-    );
+    assert!(!shifts.centers.is_empty() || g.n() == 0, "partition needs at least one center");
     let n = g.n();
     // Multi-source Dijkstra over keys dist(u, v) - δ_v. All edges weigh 1 but
     // sources start at distinct negative keys, so a heap is required.
@@ -274,11 +271,8 @@ mod tests {
             for u in g.nodes() {
                 let assigned = c.cluster_of[u.index()].unwrap() as usize;
                 let d = radionet_graph::traversal::bfs_distances(&g, u);
-                let key_of = |ci: usize| {
-                    d[shifts.centers[ci].index()] as f64 - shifts.deltas[ci]
-                };
-                let best =
-                    (0..mis.len()).map(key_of).fold(f64::INFINITY, f64::min);
+                let key_of = |ci: usize| d[shifts.centers[ci].index()] as f64 - shifts.deltas[ci];
+                let best = (0..mis.len()).map(key_of).fold(f64::INFINITY, f64::min);
                 assert!(
                     key_of(assigned) - best < 1e-9,
                     "node {u:?} assigned {assigned} key {} best {best}",

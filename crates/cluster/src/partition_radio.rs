@@ -19,7 +19,7 @@ use crate::mpx::Clustering;
 use radionet_graph::{traversal, Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::ids::random_id;
-use radionet_sim::{Action, NodeCtx, PhaseReport, Protocol, Sim};
+use radionet_sim::{Action, NodeCtx, PhaseReport, Protocol, Sim, TopologyView};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -245,8 +245,7 @@ impl RadioClustering {
         if self.assignment.is_empty() {
             return 1.0;
         }
-        self.assignment.iter().filter(|a| a.is_some()).count() as f64
-            / self.assignment.len() as f64
+        self.assignment.iter().filter(|a| a.is_some()).count() as f64 / self.assignment.len() as f64
     }
 
     /// Normalizes into a [`Clustering`]: groups nodes by center id, places
@@ -318,18 +317,15 @@ impl RadioClustering {
 ///
 /// Panics if `is_center.len() != g.n()` or no center is marked on a
 /// nonempty graph.
-pub fn run_radio_partition(
-    sim: &mut Sim<'_>,
+pub fn run_radio_partition<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     is_center: &[bool],
     beta: f64,
     config: RadioPartitionConfig,
 ) -> RadioClustering {
     let g = sim.graph();
     assert_eq!(is_center.len(), g.n(), "one center flag per node");
-    assert!(
-        is_center.iter().any(|&c| c) || g.n() == 0,
-        "partition needs at least one center"
-    );
+    assert!(is_center.iter().any(|&c| c) || g.n() == 0, "partition needs at least one center");
     let info = *sim.info();
     let mut states: Vec<RadioPartitionNode> = is_center
         .iter()
@@ -342,8 +338,8 @@ pub fn run_radio_partition(
 
 /// Convenience: radio partition normalized to a [`Clustering`], with
 /// `(coverage, report)` attached.
-pub fn run_radio_partition_normalized(
-    sim: &mut Sim<'_>,
+pub fn run_radio_partition_normalized<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     is_center: &[bool],
     beta: f64,
     config: RadioPartitionConfig,
@@ -409,11 +405,7 @@ mod tests {
                 beta,
                 RadioPartitionConfig::default(),
             );
-            assert!(
-                raw.coverage() > 0.99,
-                "{g:?}: coverage {}",
-                raw.coverage()
-            );
+            assert!(raw.coverage() > 0.99, "{g:?}: coverage {}", raw.coverage());
         }
     }
 
@@ -434,11 +426,7 @@ mod tests {
         // MIS centers: every node is within 1 of an MIS node, so the MPX
         // radius is at most δ_cap + slack; sanity-bound it loosely.
         let cap = RadioPartitionConfig::default().delta_cap(0.5, g.n());
-        assert!(
-            (c.radius() as f64) <= cap + 8.0,
-            "radius {} vs cap {cap}",
-            c.radius()
-        );
+        assert!((c.radius() as f64) <= cap + 8.0, "radius {} vs cap {cap}", c.radius());
     }
 
     #[test]
@@ -476,12 +464,7 @@ mod tests {
     fn no_centers_rejected() {
         let g = generators::path(4);
         let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
-        let _ = run_radio_partition(
-            &mut sim,
-            &[false; 4],
-            0.5,
-            RadioPartitionConfig::default(),
-        );
+        let _ = run_radio_partition(&mut sim, &[false; 4], 0.5, RadioPartitionConfig::default());
     }
 
     #[test]
@@ -505,11 +488,8 @@ mod tests {
             assert!(cov > 0.99);
             let c = c.unwrap();
             let exact = exact_center_distances(&g, &c);
-            let ds: Vec<f64> = exact
-                .iter()
-                .filter(|&&d| d != u32::MAX)
-                .map(|&d| d as f64)
-                .collect();
+            let ds: Vec<f64> =
+                exact.iter().filter(|&&d| d != u32::MAX).map(|&d| d as f64).collect();
             radio_means.push(ds.iter().sum::<f64>() / ds.len() as f64);
         }
         let mut abstract_means = Vec::new();
@@ -520,10 +500,7 @@ mod tests {
         }
         let rm = radio_means.iter().sum::<f64>() / radio_means.len() as f64;
         let am = abstract_means.iter().sum::<f64>() / abstract_means.len() as f64;
-        assert!(
-            rm <= 3.0 * am + 1.0 && am <= 3.0 * rm + 1.0,
-            "radio {rm} vs abstract {am}"
-        );
+        assert!(rm <= 3.0 * am + 1.0 && am <= 3.0 * rm + 1.0, "radio {rm} vs abstract {am}");
     }
 
     use rand::SeedableRng;

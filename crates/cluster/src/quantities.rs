@@ -70,11 +70,7 @@ impl MisProfile {
 
     /// `B_β = Σ m_i·e^{-iβ}`.
     pub fn b_beta(&self, beta: f64) -> f64 {
-        self.m
-            .iter()
-            .enumerate()
-            .map(|(i, &mi)| mi as f64 * (-(i as f64) * beta).exp())
-            .sum()
+        self.m.iter().enumerate().map(|(i, &mi)| mi as f64 * (-(i as f64) * beta).exp()).sum()
     }
 
     /// `S_β = T_β / B_β`; `0` for an empty profile.
@@ -307,10 +303,7 @@ mod tests {
             let p = MisProfile::new(&g, anchor, &mis);
             let bad = bad_j_count(&p, b, range) as f64;
             let allowed = ((alpha.max(2.0)).log2() / (16.0 * b as f64)).max(0.0);
-            assert!(
-                bad <= allowed.ceil(),
-                "{g:?}: bad {bad} > allowed {allowed}"
-            );
+            assert!(bad <= allowed.ceil(), "{g:?}: bad {bad} > allowed {allowed}");
         }
     }
 

@@ -52,17 +52,13 @@ impl ClusterSchedule {
         let layer = clustering.dist.clone();
         let parent = clustering.parent.clone();
         let cluster_of = clustering.cluster_of.clone();
-        let depth =
-            layer.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+        let depth = layer.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
 
         let mut down = Vec::with_capacity(depth as usize);
         let mut up = Vec::with_capacity(depth as usize);
         for i in 0..depth {
             // Children at layer i+1 and their designated parents at layer i.
-            let children: Vec<NodeId> = g
-                .nodes()
-                .filter(|v| layer[v.index()] == i + 1)
-                .collect();
+            let children: Vec<NodeId> = g.nodes().filter(|v| layer[v.index()] == i + 1).collect();
             // --- Downcast: color the parent set.
             let mut parents: Vec<NodeId> = children
                 .iter()
@@ -141,8 +137,7 @@ impl ClusterSchedule {
                         if self.parent[c.index()] == Some(tx) {
                             let interference = slot.iter().any(|&other| {
                                 other != tx
-                                    && self.cluster_of[other.index()]
-                                        == self.cluster_of[c.index()]
+                                    && self.cluster_of[other.index()] == self.cluster_of[c.index()]
                                     && g.has_edge(other, c)
                             });
                             if interference {
@@ -178,12 +173,7 @@ impl ClusterSchedule {
     /// transition — `O(1)` on growth-bounded graphs, the quantity that makes
     /// pipelined propagation `O(ℓ)` there.
     pub fn max_colors(&self) -> usize {
-        self.down
-            .iter()
-            .map(|s| s.len())
-            .chain(self.up.iter().map(|s| s.len()))
-            .max()
-            .unwrap_or(0)
+        self.down.iter().map(|s| s.len()).chain(self.up.iter().map(|s| s.len())).max().unwrap_or(0)
     }
 }
 
@@ -192,9 +182,9 @@ fn color_greedy(k: usize, conflicts: impl Fn(usize, usize) -> bool) -> Vec<usize
     let mut colors = vec![usize::MAX; k];
     for i in 0..k {
         let mut used: Vec<bool> = Vec::new();
-        for j in 0..i {
+        for (j, &color) in colors.iter().enumerate().take(i) {
             if conflicts(i, j) {
-                let c = colors[j];
+                let c = color;
                 if used.len() <= c {
                     used.resize(c + 1, false);
                 }
@@ -216,10 +206,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn single_cluster(g: &Graph, center: NodeId) -> Clustering {
-        partition_with_shifts(
-            g,
-            &Shifts { centers: vec![center], deltas: vec![0.0] },
-        )
+        partition_with_shifts(g, &Shifts { centers: vec![center], deltas: vec![0.0] })
     }
 
     #[test]
@@ -295,12 +282,7 @@ mod tests {
     #[test]
     fn empty_graph_schedule() {
         let g = Graph::from_edges(0, []).unwrap();
-        let c = Clustering {
-            cluster_of: vec![],
-            centers: vec![],
-            dist: vec![],
-            parent: vec![],
-        };
+        let c = Clustering { cluster_of: vec![], centers: vec![], dist: vec![], parent: vec![] };
         let s = ClusterSchedule::build(&g, &c);
         assert_eq!(s.depth, 0);
         assert!(s.verify(&g));

@@ -31,7 +31,7 @@ use radionet_cluster::quantities::j_range;
 use radionet_cluster::{ClusterSchedule, Clustering, RadioPartitionConfig};
 use radionet_graph::NodeId;
 use radionet_primitives::ids::random_id;
-use radionet_sim::{Action, CostModel, NodeCtx, Protocol, Sim};
+use radionet_sim::{Action, CostModel, NodeCtx, Protocol, Sim, TopologyView};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -135,6 +135,23 @@ impl CompeteConfig {
         }
     }
 
+    /// The propagation step budget for this config on a network with the
+    /// given estimates: `budget_factor · D · log_D α` (or `log_D n` under
+    /// [`IcpLenMode::LogDN`]) `+ budget_polylog_factor · log³ n`.
+    ///
+    /// This is the single source of truth for the stage-8 loop's budget;
+    /// the scenario catalogue also uses it as the timebase that event-time
+    /// fractions refer to.
+    pub fn propagation_budget(&self, info: &radionet_sim::NetInfo) -> u64 {
+        let log_term = match self.icp_len {
+            IcpLenMode::LogDAlpha => info.log_d_alpha(),
+            IcpLenMode::LogDN => info.log_d_n(),
+        };
+        let l3 = (info.log_n().max(2) as f64).powi(3);
+        (self.budget_factor * info.d.max(2) as f64 * log_term + self.budget_polylog_factor * l3)
+            as u64
+    }
+
     /// The length multiplier for a fine clustering at scale `j`.
     fn icp_len_for(&self, j: i64, info: &radionet_sim::NetInfo) -> u32 {
         let per_beta = 2f64.powi(j as i32); // 1/β
@@ -189,8 +206,8 @@ impl CompeteOutcome {
 /// # Panics
 ///
 /// Panics if `initial.len() != n` or no node carries a message.
-pub fn run_compete(
-    sim: &mut Sim<'_>,
+pub fn run_compete<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     initial: &[Option<u64>],
     config: &CompeteConfig,
 ) -> CompeteOutcome {
@@ -263,9 +280,8 @@ pub fn run_compete(
         let beta_bg = (d as f64).powf(config.bg_beta_exp).min(1.0);
         let bg_count = ((d as f64).powf(config.bg_count_exp).ceil().max(1.0) as usize)
             .min(config.per_j_cap.max(1));
-        let l_bg = (config.icp_len_factor * (info.n.max(2) as f64).log2() / beta_bg)
-            .ceil()
-            .max(1.0) as u32;
+        let l_bg = (config.icp_len_factor * (info.n.max(2) as f64).log2() / beta_bg).ceil().max(1.0)
+            as u32;
         for _ in 0..bg_count {
             let (c, _, _) =
                 run_radio_partition_normalized(sim, &center_flags, beta_bg, config.partition);
@@ -282,8 +298,7 @@ pub fn run_compete(
 
     // Stage 6 + 7: sequence seeds over the coarse clusters.
     let seeds = spread_seeds(sim, &coarse, &coarse_sched);
-    let seed_coverage =
-        seeds.iter().filter(|s| s.is_some()).count() as f64 / n.max(1) as f64;
+    let seed_coverage = seeds.iter().filter(|s| s.is_some()).count() as f64 / n.max(1) as f64;
     let node_seed: Vec<u64> = seeds
         .iter()
         .enumerate()
@@ -298,13 +313,7 @@ pub fn run_compete(
     let clock_setup = sim.clock();
 
     // Stage 8: propagation rounds.
-    let log_term = match config.icp_len {
-        IcpLenMode::LogDAlpha => info.log_d_alpha(),
-        IcpLenMode::LogDN => info.log_d_n(),
-    };
-    let l3 = (log_n.max(2) as f64).powi(3);
-    let budget = (config.budget_factor * d as f64 * log_term
-        + config.budget_polylog_factor * l3) as u64;
+    let budget = config.propagation_budget(&info);
     let seq_len = (d as f64).powf(config.sequence_exp).ceil().max(4.0) as u64;
 
     let mut best: Vec<Option<u64>> = initial.to_vec();
@@ -319,10 +328,7 @@ pub fn run_compete(
                 let fine = &fines[fi];
                 let bg = (!bgs.is_empty()).then(|| {
                     let b = &bgs[(r % bgs.len() as u64) as usize];
-                    (
-                        IcpSeq::new(b.timeline.clone(), v),
-                        BgDecaySeq::new(b.ids[i], r ^ 0xb6, log_n),
-                    )
+                    (IcpSeq::new(b.timeline.clone(), v), BgDecaySeq::new(b.ids[i], r ^ 0xb6, log_n))
                 });
                 RoundNode {
                     best: best[i],
@@ -418,8 +424,8 @@ impl Protocol for RoundNode {
 
 /// Stage 6 + 7: each coarse center draws a PRG seed; the seed is downcast
 /// over the coarse schedules. Returns the per-node seed (None = missed).
-fn spread_seeds(
-    sim: &mut Sim<'_>,
+fn spread_seeds<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     coarse: &Clustering,
     coarse_sched: &ClusterSchedule,
 ) -> Vec<Option<u64>> {
@@ -431,10 +437,8 @@ fn spread_seeds(
         .map(|i| {
             let v = NodeId::new(i);
             let cluster = coarse.cluster_of[i].map(|c| c as u64).unwrap_or(u64::MAX);
-            let is_center = coarse
-                .cluster_of[i]
-                .map(|c| coarse.centers[c as usize] == v)
-                .unwrap_or(false);
+            let is_center =
+                coarse.cluster_of[i].map(|c| coarse.centers[c as usize] == v).unwrap_or(false);
             SeedNode {
                 cluster,
                 is_center,
@@ -522,8 +526,12 @@ mod tests {
     fn informs_path() {
         let g = generators::path(48);
         let out = compete_single_source(&g, 0, &CompeteConfig::default(), 1);
-        assert!(out.all_know(42), "informed {}/{}",
-            out.best.iter().filter(|b| **b == Some(42)).count(), g.n());
+        assert!(
+            out.all_know(42),
+            "informed {}/{}",
+            out.best.iter().filter(|b| **b == Some(42)).count(),
+            g.n()
+        );
         assert!(out.clock_all_informed.is_some());
     }
 
@@ -592,8 +600,7 @@ mod tests {
 
     #[test]
     fn hash_u64_spreads() {
-        let vals: std::collections::HashSet<u64> =
-            (0..100).map(|r| hash_u64(7, r) % 16).collect();
+        let vals: std::collections::HashSet<u64> = (0..100).map(|r| hash_u64(7, r) % 16).collect();
         assert!(vals.len() > 8);
     }
 }

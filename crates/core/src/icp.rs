@@ -59,20 +59,19 @@ impl IcpTimeline {
         let l = l.min(schedule.depth);
         let mut slots = Vec::new();
         let mut tx_slots: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let push_group =
-            |slots: &mut Vec<(IcpStage, u32)>,
-             tx_slots: &mut Vec<Vec<u32>>,
-             stage: IcpStage,
-             transition: u32,
-             group: &[Vec<NodeId>]| {
-                for slot_txs in group {
-                    let idx = slots.len() as u32;
-                    slots.push((stage, transition));
-                    for &v in slot_txs {
-                        tx_slots[v.index()].push(idx);
-                    }
+        let push_group = |slots: &mut Vec<(IcpStage, u32)>,
+                          tx_slots: &mut Vec<Vec<u32>>,
+                          stage: IcpStage,
+                          transition: u32,
+                          group: &[Vec<NodeId>]| {
+            for slot_txs in group {
+                let idx = slots.len() as u32;
+                slots.push((stage, transition));
+                for &v in slot_txs {
+                    tx_slots[v.index()].push(idx);
                 }
-            };
+            }
+        };
         for i in 0..l {
             push_group(&mut slots, &mut tx_slots, IcpStage::Down1, i, &schedule.down[i as usize]);
         }
@@ -211,11 +210,7 @@ pub fn hash01(key: u64, block: u64) -> f64 {
 /// Builds a per-clustering mapping from nodes to cluster ids for
 /// [`BgDecaySeq`] (`u64::MAX` for unclustered nodes).
 pub fn cluster_ids(clustering: &Clustering) -> Vec<u64> {
-    clustering
-        .cluster_of
-        .iter()
-        .map(|c| c.map(|x| x as u64).unwrap_or(u64::MAX))
-        .collect()
+    clustering.cluster_of.iter().map(|c| c.map(|x| x as u64).unwrap_or(u64::MAX)).collect()
 }
 
 #[cfg(test)]
@@ -226,10 +221,7 @@ mod tests {
 
     fn line_timeline(n: usize, l: u32) -> (IcpTimeline, radionet_graph::Graph) {
         let g = generators::path(n);
-        let c = partition_with_shifts(
-            &g,
-            &Shifts { centers: vec![g.node(0)], deltas: vec![0.0] },
-        );
+        let c = partition_with_shifts(&g, &Shifts { centers: vec![g.node(0)], deltas: vec![0.0] });
         let s = ClusterSchedule::build(&g, &c);
         (IcpTimeline::build(&s, g.n(), l), g)
     }
@@ -312,10 +304,7 @@ mod tests {
     #[test]
     fn cluster_ids_mapping() {
         let g = generators::path(4);
-        let c = partition_with_shifts(
-            &g,
-            &Shifts { centers: vec![g.node(0)], deltas: vec![0.0] },
-        );
+        let c = partition_with_shifts(&g, &Shifts { centers: vec![g.node(0)], deltas: vec![0.0] });
         let ids = cluster_ids(&c);
         assert_eq!(ids, vec![0, 0, 0, 0]);
     }

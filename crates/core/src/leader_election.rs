@@ -8,7 +8,7 @@
 
 use crate::compete::{run_compete, CompeteConfig, CompeteOutcome};
 use radionet_primitives::ids::random_id;
-use radionet_sim::Sim;
+use radionet_sim::{Sim, TopologyView};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -48,8 +48,7 @@ impl LeaderElectionOutcome {
             None => false,
             Some(id) => {
                 // Unique maximum among candidates, and universally known.
-                let maxes =
-                    self.candidate_ids.iter().flatten().filter(|&&c| c == id).count();
+                let maxes = self.candidate_ids.iter().flatten().filter(|&&c| c == id).count();
                 maxes == 1 && self.compete.best.iter().all(|b| *b == Some(id))
             }
         }
@@ -66,8 +65,8 @@ impl LeaderElectionOutcome {
 /// The candidate lottery is drawn from `le_seed` (node-private randomness in
 /// the real protocol; kept outside the engine clock because it costs zero
 /// time-steps).
-pub fn run_leader_election(
-    sim: &mut Sim<'_>,
+pub fn run_leader_election<T: TopologyView>(
+    sim: &mut Sim<'_, T>,
     le_seed: u64,
     config: &LeaderElectionConfig,
 ) -> LeaderElectionOutcome {
@@ -75,9 +74,8 @@ pub fn run_leader_election(
     let n_est = sim.info().n;
     let p = (config.candidate_factor * (n_est.max(2) as f64).log2() / n_est as f64).min(1.0);
     let mut rng = SmallRng::seed_from_u64(le_seed ^ 0x1eade1);
-    let candidate_ids: Vec<Option<u64>> = (0..n)
-        .map(|_| rng.gen_bool(p).then(|| random_id(n_est, &mut rng)))
-        .collect();
+    let candidate_ids: Vec<Option<u64>> =
+        (0..n).map(|_| rng.gen_bool(p).then(|| random_id(n_est, &mut rng))).collect();
     if candidate_ids.iter().all(|c| c.is_none()) {
         // No candidates: the election fails outright (probability n^{-Θ(1)}).
         return LeaderElectionOutcome {

@@ -21,7 +21,7 @@ use radionet_graph::independent_set::is_maximal_independent_set;
 use radionet_graph::{Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::effective_degree::{EedConfig, EedCounter, EedVerdict};
-use radionet_sim::{Action, NodeCtx, Protocol, Sim};
+use radionet_sim::{Action, NodeCtx, Protocol, Sim, TopologyView};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -304,10 +304,8 @@ impl Protocol for MisNode {
         let t_in_round = ctx.time % round_steps;
         match (self.segment(t_in_round), msg) {
             (Segment::MarkDecay, MisMsg::Marked) => self.heard_marked = true,
-            (Segment::MisDecay, MisMsg::InMis) => {
-                if self.status == MisStatus::Active {
-                    self.status = MisStatus::Dominated;
-                }
+            (Segment::MisDecay, MisMsg::InMis) if self.status == MisStatus::Active => {
+                self.status = MisStatus::Dominated;
             }
             (Segment::Eed, MisMsg::Probe) => self.eed_heard = true,
             // Segment-inconsistent messages cannot occur (global sync);
@@ -364,7 +362,7 @@ impl MisOutcome {
 }
 
 /// Runs Radio MIS on the simulator (consumes `O(log³ n)` simulated steps).
-pub fn run_radio_mis(sim: &mut Sim<'_>, config: &MisConfig) -> MisOutcome {
+pub fn run_radio_mis<T: TopologyView>(sim: &mut Sim<'_, T>, config: &MisConfig) -> MisOutcome {
     let info = *sim.info();
     let log_n = MisConfig::effective_log_n(info.log_n());
     let mut states: Vec<MisNode> =

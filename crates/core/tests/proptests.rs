@@ -1,10 +1,10 @@
 //! Property tests for the core algorithms.
 
 use proptest::prelude::*;
-use radionet_core::icp::{hash01, IcpTimeline};
-use radionet_core::mis::{run_radio_mis, MisConfig};
 use radionet_cluster::mpx::{draw_shifts, partition_with_shifts};
 use radionet_cluster::ClusterSchedule;
+use radionet_core::icp::{hash01, IcpTimeline};
+use radionet_core::mis::{run_radio_mis, MisConfig};
 use radionet_graph::independent_set::greedy_mis_min_degree;
 use radionet_graph::{Graph, GraphBuilder};
 use radionet_sim::{NetInfo, Sim};

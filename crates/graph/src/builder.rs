@@ -144,10 +144,7 @@ mod tests {
     fn try_add_edge_errors() {
         let mut b = GraphBuilder::new(2);
         assert!(matches!(b.try_add_edge(0, 0), Err(GraphError::SelfLoop { node: 0 })));
-        assert!(matches!(
-            b.try_add_edge(0, 5),
-            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
-        ));
+        assert!(matches!(b.try_add_edge(0, 5), Err(GraphError::NodeOutOfRange { node: 5, n: 2 })));
     }
 
     #[test]

@@ -176,7 +176,7 @@ impl Family {
                 generators::geometric_radio_undirected(&pts, &ranges).graph
             }),
             Family::RandomRegular => {
-                let n = if n % 2 == 0 { n } else { n + 1 }; // even n·d
+                let n = if n.is_multiple_of(2) { n } else { n + 1 }; // even n·d
                 let g = generators::random::random_regular(n, 4, &mut rng);
                 generators::random::connect_components(&g, &mut rng)
             }

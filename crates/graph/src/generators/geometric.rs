@@ -30,20 +30,14 @@ pub struct GeometricInstance<P> {
 
 /// `n` points uniform in the square `[0, side)²`.
 pub fn uniform_points2<R: Rng + ?Sized>(n: usize, side: f64, rng: &mut R) -> Vec<Point2> {
-    (0..n)
-        .map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
-        .collect()
+    (0..n).map(|_| Point2::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side)).collect()
 }
 
 /// `n` points uniform in the cube `[0, side)³`.
 pub fn uniform_points3<R: Rng + ?Sized>(n: usize, side: f64, rng: &mut R) -> Vec<Point3> {
     (0..n)
         .map(|_| {
-            Point3::new(
-                rng.gen::<f64>() * side,
-                rng.gen::<f64>() * side,
-                rng.gen::<f64>() * side,
-            )
+            Point3::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side, rng.gen::<f64>() * side)
         })
         .collect()
 }
@@ -159,10 +153,7 @@ pub fn quasi_unit_disk_in_square<R2: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `ranges.len() != points.len()` or any range is negative.
-pub fn geometric_radio_undirected(
-    points: &[Point2],
-    ranges: &[f64],
-) -> GeometricInstance<Point2> {
+pub fn geometric_radio_undirected(points: &[Point2], ranges: &[f64]) -> GeometricInstance<Point2> {
     assert_eq!(points.len(), ranges.len(), "one range per point");
     assert!(ranges.iter().all(|&r| r >= 0.0), "ranges must be nonnegative");
     let n = points.len();
@@ -255,11 +246,7 @@ mod tests {
 
     #[test]
     fn unit_ball_other_metrics() {
-        let pts = vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(0.9, 0.9),
-            Point2::new(0.0, 9.5),
-        ];
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(0.9, 0.9), Point2::new(0.0, 9.5)];
         // Chebyshev: (0,0)-(0.9,0.9) at distance 0.9 -> edge.
         let cheb = unit_ball(&pts, &Chebyshev2, 1.0);
         assert!(cheb.graph.has_edge(cheb.graph.node(0), cheb.graph.node(1)));
@@ -281,11 +268,7 @@ mod tests {
 
     #[test]
     fn geometric_radio_mutual_edges() {
-        let pts = vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(1.0, 0.0),
-            Point2::new(2.5, 0.0),
-        ];
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(2.5, 0.0)];
         // Node 0 long range, node 1 short, node 2 long.
         let ranges = vec![3.0, 1.0, 3.0];
         let inst = geometric_radio_undirected(&pts, &ranges);

@@ -20,7 +20,7 @@ pub use classic::{
     spider, star,
 };
 pub use geometric::{
-    geometric_radio_undirected, quasi_unit_disk_in_square, unit_ball, unit_disk,
-    unit_disk_in_square, uniform_points2, uniform_points3, GeometricInstance,
+    geometric_radio_undirected, quasi_unit_disk_in_square, uniform_points2, uniform_points3,
+    unit_ball, unit_disk, unit_disk_in_square, GeometricInstance,
 };
 pub use random::{connected_gnp, gnp, random_tree};

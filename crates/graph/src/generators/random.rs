@@ -143,9 +143,9 @@ pub fn random_node<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> NodeId {
 ///
 /// Panics if `n·d` is odd or `d ≥ n`.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be below n");
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     use rand::seq::SliceRandom;
     stubs.shuffle(rng);
     let mut b = GraphBuilder::new(n);
@@ -207,15 +207,10 @@ mod tests {
         let n = 300;
         let p = 0.05;
         let trials = 20;
-        let mean: f64 = (0..trials)
-            .map(|_| gnp(n, p, &mut rng).m() as f64)
-            .sum::<f64>()
-            / trials as f64;
+        let mean: f64 =
+            (0..trials).map(|_| gnp(n, p, &mut rng).m() as f64).sum::<f64>() / trials as f64;
         let expected = p * (n * (n - 1) / 2) as f64;
-        assert!(
-            (mean - expected).abs() < 0.1 * expected,
-            "mean {mean} vs expected {expected}"
-        );
+        assert!((mean - expected).abs() < 0.1 * expected, "mean {mean} vs expected {expected}");
     }
 
     #[test]

@@ -56,8 +56,9 @@ mod tests {
     #[test]
     fn granularity_of_grid_points() {
         // Points spaced 0.5 apart: granularity 2.
-        let pts: Vec<Point2> =
-            (0..4).flat_map(|x| (0..4).map(move |y| Point2::new(x as f64 / 2.0, y as f64 / 2.0))).collect();
+        let pts: Vec<Point2> = (0..4)
+            .flat_map(|x| (0..4).map(move |y| Point2::new(x as f64 / 2.0, y as f64 / 2.0)))
+            .collect();
         let g = granularity(&pts).unwrap();
         assert!((g - 2.0).abs() < 1e-9);
     }

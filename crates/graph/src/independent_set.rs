@@ -208,14 +208,13 @@ pub fn maximum_independent_set(g: &Graph, budget: u64) -> ExactAlpha {
                 // Members of this clique: grow greedily within `remaining`.
                 clear_bit(&mut remaining, v);
                 let mut members = vec![v];
-                let mut cand: Vec<u64> = (0..self.words)
-                    .map(|w| remaining[w] & self.adj[v * self.words + w])
-                    .collect();
+                let mut cand: Vec<u64> =
+                    (0..self.words).map(|w| remaining[w] & self.adj[v * self.words + w]).collect();
                 while let Some(u) = first_set_bit(&cand) {
                     // u is adjacent to all members by construction of cand.
                     clear_bit(&mut remaining, u);
-                    for w in 0..self.words {
-                        cand[w] &= self.adj[u * self.words + w];
+                    for (w, c) in cand.iter_mut().enumerate() {
+                        *c &= self.adj[u * self.words + w];
                     }
                     clear_bit(&mut cand, u);
                     members.push(u);
@@ -271,8 +270,8 @@ pub fn maximum_independent_set(g: &Graph, budget: u64) -> ExactAlpha {
             // Branch 1: include v (delete N[v]).
             let saved = alive.clone();
             clear_bit(alive, v);
-            for w in 0..self.words {
-                alive[w] &= !self.adj[v * self.words + w];
+            for (w, a) in alive.iter_mut().enumerate() {
+                *a &= !self.adj[v * self.words + w];
             }
             current.push(v as u32);
             self.run(alive, current);

@@ -111,11 +111,7 @@ pub fn is_connected(g: &Graph) -> bool {
 
 /// Eccentricity of `v`: the maximum BFS distance to any reachable node.
 pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
-    bfs_distances(g, v)
-        .into_iter()
-        .filter(|&d| d != UNREACHABLE)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, v).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
 }
 
 /// Exact diameter by all-pairs BFS. `O(n (n + m))`.
@@ -140,10 +136,7 @@ pub fn diameter_ifub(g: &Graph) -> u32 {
     }
     // Double sweep from a max-degree node to find a far vertex pair, then run
     // iFUB from the midpoint of the found path.
-    let start = g
-        .nodes()
-        .max_by_key(|&v| g.degree(v))
-        .expect("nonempty graph");
+    let start = g.nodes().max_by_key(|&v| g.degree(v)).expect("nonempty graph");
     let d1 = bfs_distances(g, start);
     let a = argmax_finite(&d1);
     let da = bfs_distances(g, a);

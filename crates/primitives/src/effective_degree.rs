@@ -127,7 +127,7 @@ impl EedCounter {
 
     /// The verdict; `None` until [`finished`](EedCounter::finished).
     pub fn verdict(&self) -> Option<EedVerdict> {
-        self.finished().then(|| if self.high { EedVerdict::High } else { EedVerdict::Low })
+        self.finished().then_some(if self.high { EedVerdict::High } else { EedVerdict::Low })
     }
 }
 
@@ -150,7 +150,12 @@ impl EedProtocol {
     /// Panics if `p` is not in `\[0, 1\]`.
     pub fn new(config: EedConfig, log_n: u32, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "desire level must be in [0, 1]");
-        EedProtocol { counter: EedCounter::new(config, log_n), p, heard_this_step: false, started: false }
+        EedProtocol {
+            counter: EedCounter::new(config, log_n),
+            p,
+            heard_this_step: false,
+            started: false,
+        }
     }
 
     /// The verdict; `None` until the protocol finished.
@@ -265,8 +270,8 @@ mod tests {
         ps[0] = 0.001; // hub barely transmits: leaves have d = 0.001 ≤ 0.01 → Low
         let verdicts = run_eed(&g, &ps, 11);
         assert_eq!(verdicts[0], EedVerdict::High, "hub d = 4 must be High");
-        for leaf in 1..9 {
-            assert_eq!(verdicts[leaf], EedVerdict::Low, "leaf {leaf} d = 0.001");
+        for (leaf, v) in verdicts.iter().enumerate().skip(1) {
+            assert_eq!(*v, EedVerdict::Low, "leaf {leaf} d = 0.001");
         }
     }
 
@@ -283,7 +288,7 @@ mod tests {
         // Clique of 16, all p = 1/2: d(v) = 7.5 ≥ 1 → High everywhere,
         // even though most steps collide.
         let g = generators::complete(16);
-        let verdicts = run_eed(&g, &vec![0.5; 16], 5);
+        let verdicts = run_eed(&g, &[0.5; 16], 5);
         assert!(verdicts.iter().all(|&v| v == EedVerdict::High));
     }
 

@@ -1,0 +1,96 @@
+//! The event vocabulary of a dynamic-network scenario.
+//!
+//! A scenario script is a list of [`ScenarioEvent`]s — global-clock
+//! timestamps paired with structural changes. Scripts are serde-able so
+//! named scenarios can be recorded next to experiment results and replayed
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// One timed structural change.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Global clock (simulated + charged steps) at which the change takes
+    /// effect. The topology applies every event with `at <= clock` before
+    /// the step at `clock` executes.
+    pub at: u64,
+    /// The change.
+    pub kind: EventKind,
+}
+
+impl ScenarioEvent {
+    /// Shorthand constructor.
+    pub fn new(at: u64, kind: EventKind) -> Self {
+        ScenarioEvent { at, kind }
+    }
+}
+
+/// A structural change to the topology overlay.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Node `0` crashes: it stops participating and all its edges vanish.
+    Crash(usize),
+    /// A crashed node rejoins with its original (base-graph) edges.
+    Join(usize),
+    /// One undirected edge fades out (stays out until [`EventKind::EdgeUp`]).
+    EdgeDown((usize, usize)),
+    /// A faded edge comes back.
+    EdgeUp((usize, usize)),
+    /// The network splits into `k` parts (contiguous node-index blocks);
+    /// every edge crossing a block boundary is cut until
+    /// [`EventKind::Heal`].
+    Partition(u32),
+    /// All partition cuts are repaired.
+    Heal,
+    /// The node becomes an adversarial jammer: it leaves the protocol and
+    /// transmits broadband noise every step, deafening all current
+    /// neighbors.
+    JammerOn(usize),
+    /// The jammer powers down and rejoins the protocol.
+    JammerOff(usize),
+    /// The node wakes up. Any node with a `Wake` event anywhere in the
+    /// script starts the run asleep (staggered / asynchronous wake-up);
+    /// asleep nodes neither act nor hear, but keep their edges.
+    Wake(usize),
+}
+
+impl EventKind {
+    /// The node index the event concerns, if it concerns exactly one.
+    pub fn node(&self) -> Option<usize> {
+        match *self {
+            EventKind::Crash(v)
+            | EventKind::Join(v)
+            | EventKind::JammerOn(v)
+            | EventKind::JammerOff(v)
+            | EventKind::Wake(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serde_round_trip() {
+        let script = vec![
+            ScenarioEvent::new(10, EventKind::Crash(3)),
+            ScenarioEvent::new(20, EventKind::EdgeDown((1, 2))),
+            ScenarioEvent::new(30, EventKind::Partition(2)),
+            ScenarioEvent::new(40, EventKind::Heal),
+            ScenarioEvent::new(50, EventKind::JammerOn(7)),
+            ScenarioEvent::new(60, EventKind::Wake(4)),
+        ];
+        let json = serde_json::to_string_pretty(&script).unwrap();
+        let back: Vec<ScenarioEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, script);
+    }
+
+    #[test]
+    fn node_accessor() {
+        assert_eq!(EventKind::Crash(5).node(), Some(5));
+        assert_eq!(EventKind::Heal.node(), None);
+        assert_eq!(EventKind::EdgeDown((1, 2)).node(), None);
+    }
+}

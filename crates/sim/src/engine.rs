@@ -3,6 +3,7 @@
 use crate::protocol::{Action, NetInfo, NodeCtx, Protocol};
 use crate::reception::ReceptionMode;
 use crate::stats::SimStats;
+use crate::topology::{StaticTopology, TopologyView};
 use radionet_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -22,16 +23,24 @@ pub struct PhaseReport {
     pub completed: bool,
 }
 
-/// A radio-network simulation bound to one graph.
+/// A radio-network simulation bound to one graph, seen through a
+/// [`TopologyView`].
 ///
 /// Holds per-node RNGs that persist across phases, the global clock, and
 /// cumulative [`SimStats`]. A multi-phase algorithm (e.g. `Compete`) runs
 /// each stage with [`run_phase`](Sim::run_phase), optionally adding charged
 /// oracle costs with [`charge`](Sim::charge); everything is a deterministic
-/// function of `(graph, info, seed)`.
+/// function of `(graph, topology, info, seed)`.
+///
+/// The default view, [`StaticTopology`], reproduces the paper's model (the
+/// whole base graph, synchronous wake-up, no interference beyond
+/// collisions). Dynamic views — churn, partitions, jammers — are consulted
+/// once per simulated step and may change what the engine sees; see
+/// `radionet-scenario`.
 #[derive(Debug)]
-pub struct Sim<'g> {
+pub struct Sim<'g, T: TopologyView = StaticTopology> {
     graph: &'g Graph,
+    topo: T,
     info: NetInfo,
     rngs: Vec<SmallRng>,
     clock: u64,
@@ -64,6 +73,25 @@ impl<'g> Sim<'g> {
         seed: u64,
         reception: ReceptionMode,
     ) -> Self {
+        Self::with_topology(graph, StaticTopology, info, seed, reception)
+    }
+}
+
+impl<'g, T: TopologyView> Sim<'g, T> {
+    /// Creates a simulation whose per-step topology is `topo`'s view over
+    /// `graph` (the dynamic-network entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an SINR mode supplies a position count different from the
+    /// node count.
+    pub fn with_topology(
+        graph: &'g Graph,
+        topo: T,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+    ) -> Self {
         if let ReceptionMode::Sinr(cfg) = &reception {
             assert_eq!(cfg.positions.len(), graph.n(), "one position per node");
         }
@@ -71,6 +99,7 @@ impl<'g> Sim<'g> {
         let rngs = (0..graph.n()).map(|_| SmallRng::seed_from_u64(master.gen())).collect();
         Sim {
             graph,
+            topo,
             info,
             rngs,
             clock: 0,
@@ -88,9 +117,16 @@ impl<'g> Sim<'g> {
         &self.reception
     }
 
-    /// The simulated graph.
+    /// The immutable base graph (what the setup-stage algorithms — MIS
+    /// validation, schedule construction — reason about; the per-step
+    /// topology may show less).
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// The topology view.
+    pub fn topology(&self) -> &T {
+        &self.topo
     }
 
     /// The network estimates every node receives.
@@ -116,12 +152,21 @@ impl<'g> Sim<'g> {
         self.stats.charged_steps += steps;
     }
 
-    /// Runs one phase: every node executes `states[v]` until all nodes are
-    /// done or `max_steps` elapse.
+    /// Runs one phase: every node executes `states[v]` until all *active*
+    /// nodes are done or `max_steps` elapse.
     ///
     /// `states` must hold exactly one protocol state per node, indexed by
     /// [`NodeId::index`]. States are left in their final condition so the
     /// caller can extract outputs.
+    ///
+    /// Each step the engine first advances the topology view to the global
+    /// clock, then skips inactive nodes entirely (they neither act nor
+    /// hear, and their RNG streams do not advance while inactive) and
+    /// suppresses delivery to jammed listeners (with collision detection,
+    /// jamming is heard as a collision). Under the protocol models,
+    /// transmissions route over the view's *current* edges; under SINR,
+    /// reception is purely positional, so structural events (edge fades,
+    /// partitions) do not apply — only node activity and jamming do.
     ///
     /// # Panics
     ///
@@ -145,9 +190,14 @@ impl<'g> Sim<'g> {
         let mut listening = vec![false; states.len()];
 
         for local_t in 0..max_steps {
+            self.topo.advance_to(self.graph, self.clock + report.steps);
             transmitters.clear();
             self.stamp_epoch += 1;
             for (i, state) in states.iter_mut().enumerate() {
+                if !self.topo.is_active(NodeId::new(i)) {
+                    listening[i] = false;
+                    continue;
+                }
                 let mut ctx = NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
                 match state.act(&mut ctx) {
                     Action::Transmit(m) => {
@@ -162,7 +212,11 @@ impl<'g> Sim<'g> {
             if let ReceptionMode::Sinr(cfg) = &self.reception {
                 // SINR reception (footnote 1): a listener decodes the
                 // strongest transmitter iff its SINR clears the threshold,
-                // regardless of graph adjacency.
+                // regardless of graph adjacency. Reception is physical, so
+                // the topology view's *structural* events (edge fades,
+                // partitions) do not apply here — radio waves ignore
+                // logical cuts; only node state (activity, jamming)
+                // matters.
                 for (i, &l) in listening.iter().enumerate() {
                     if !l || transmitters.is_empty() {
                         continue;
@@ -178,6 +232,15 @@ impl<'g> Sim<'g> {
                             best_ti = ti;
                         }
                     }
+                    if self.topo.is_jammed(NodeId::new(i)) {
+                        // Broadband noise at the receiver: nothing decodes;
+                        // it only counts as a collision if a signal that
+                        // was decodable in isolation got drowned.
+                        if best_gain / cfg.noise >= cfg.threshold {
+                            report.collisions += 1;
+                        }
+                        continue;
+                    }
                     let sinr = best_gain / (cfg.noise + (total - best_gain));
                     if sinr >= cfg.threshold {
                         let msg = &transmitters[best_ti].1;
@@ -192,9 +255,9 @@ impl<'g> Sim<'g> {
                 }
             } else {
                 // Protocol model: mark reception counts on neighbors of
-                // transmitters.
+                // transmitters, over the *current* topology.
                 for (ti, &(u, _)) in transmitters.iter().enumerate() {
-                    for &w in self.graph.neighbors(u) {
+                    for &w in self.topo.neighbors(self.graph, u) {
                         let wi = w.index();
                         if self.stamp[wi] != self.stamp_epoch {
                             self.stamp[wi] = self.stamp_epoch;
@@ -204,14 +267,15 @@ impl<'g> Sim<'g> {
                         self.from[wi] = ti as u32;
                     }
                 }
-                // Deliver to unique-transmitter listeners.
+                // Deliver to unique-transmitter, unjammed listeners.
                 for (ti, &(u, _)) in transmitters.iter().enumerate() {
-                    for &w in self.graph.neighbors(u) {
+                    for &w in self.topo.neighbors(self.graph, u) {
                         let wi = w.index();
                         if listening[wi]
                             && self.stamp[wi] == self.stamp_epoch
                             && self.count[wi] == 1
                             && self.from[wi] == ti as u32
+                            && !self.topo.is_jammed(w)
                         {
                             let msg = &transmitters[ti].1;
                             let mut ctx = NodeCtx {
@@ -224,25 +288,39 @@ impl<'g> Sim<'g> {
                         }
                     }
                 }
-                // Collisions (listeners with ≥ 2 transmitting neighbors);
-                // with collision detection the listener is told.
+                // Collisions: listeners with ≥ 2 transmitting neighbors, or
+                // a jammed listener losing a real signal to noise. With
+                // collision detection the listener is told — and jamming is
+                // indistinguishable from a collision, so a jammed listener
+                // hears the collision signal even in an otherwise silent
+                // step.
                 let cd = self.reception == ReceptionMode::ProtocolCd;
                 for (i, &l) in listening.iter().enumerate() {
-                    if l && self.stamp[i] == self.stamp_epoch && self.count[i] >= 2 {
+                    if !l {
+                        continue;
+                    }
+                    let hits = if self.stamp[i] == self.stamp_epoch { self.count[i] } else { 0 };
+                    let jammed = self.topo.is_jammed(NodeId::new(i));
+                    if hits >= 2 || (jammed && hits >= 1) {
                         report.collisions += 1;
-                        if cd {
-                            let mut ctx = NodeCtx {
-                                time: local_t,
-                                info: &self.info,
-                                rng: &mut self.rngs[i],
-                            };
-                            states[i].on_collision(&mut ctx);
-                        }
+                    }
+                    if cd && (hits >= 2 || jammed) {
+                        let mut ctx =
+                            NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                        states[i].on_collision(&mut ctx);
                     }
                 }
             }
             report.steps += 1;
-            if states.iter().all(|s| s.is_done()) {
+            // A phase completes when every node is either done or *retired*
+            // (inactive with no scheduled return). A node that is merely
+            // asleep, crashed-but-rejoining, or jamming-for-a-window keeps
+            // the phase running so its return is actually simulated.
+            if states
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.is_done() || self.topo.is_retired(NodeId::new(i)))
+            {
                 report.completed = true;
                 break;
             }
@@ -284,6 +362,127 @@ mod tests {
             .collect()
     }
 
+    /// A static view whose listed nodes are permanently jammed listeners.
+    struct JamView(Vec<bool>);
+
+    impl TopologyView for JamView {
+        fn advance_to(&mut self, _base: &Graph, _clock: u64) {}
+        fn neighbors<'a>(&'a self, base: &'a Graph, v: NodeId) -> &'a [NodeId] {
+            base.neighbors(v)
+        }
+        fn is_active(&self, _v: NodeId) -> bool {
+            true
+        }
+        fn is_jammed(&self, v: NodeId) -> bool {
+            self.0[v.index()]
+        }
+    }
+
+    /// A view where one node sleeps until a wake time, with and without a
+    /// scheduled return.
+    struct Sleeper {
+        node: usize,
+        wake_at: Option<u64>,
+        awake: bool,
+    }
+
+    impl TopologyView for Sleeper {
+        fn advance_to(&mut self, _base: &Graph, clock: u64) {
+            if let Some(t) = self.wake_at {
+                if clock >= t {
+                    self.awake = true;
+                }
+            }
+        }
+        fn neighbors<'a>(&'a self, base: &'a Graph, v: NodeId) -> &'a [NodeId] {
+            base.neighbors(v)
+        }
+        fn is_active(&self, v: NodeId) -> bool {
+            v.index() != self.node || self.awake
+        }
+        fn is_jammed(&self, _v: NodeId) -> bool {
+            false
+        }
+        fn is_retired(&self, v: NodeId) -> bool {
+            !self.is_active(v) && self.wake_at.is_none()
+        }
+    }
+
+    #[test]
+    fn jammed_listener_hears_nothing_in_protocol_model() {
+        // Star, hub 0 transmits; leaf 1 sits next to a (modeled) jammer.
+        let g = generators::star(4);
+        let info = NetInfo::exact(&g);
+        let jam = JamView(vec![false, true, false, false]);
+        let mut sim = Sim::with_topology(&g, jam, info, 0, ReceptionMode::Protocol);
+        let mut states = chatters(&g, &[0]);
+        let rep = sim.run_phase(&mut states, 2);
+        assert!(states[1].heard.is_empty(), "jammed listener decoded a message");
+        assert_eq!(states[2].heard, vec![7, 7]);
+        // The lost-to-noise deliveries count as collisions (1 listener × 2 steps).
+        assert_eq!(rep.collisions, 2);
+        assert_eq!(rep.deliveries, 4);
+    }
+
+    #[test]
+    fn sinr_jam_collision_needs_a_decodable_signal() {
+        // Transmitter 1 is out of decode range of listener 0: jamming node 0
+        // must NOT count a collision (nothing was lost). Transmitter close
+        // by: it must.
+        let far = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let mode = |pos: Vec<(f64, f64)>| {
+            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(pos, 1.0))
+        };
+        let jam = || JamView(vec![true, false]);
+        let info = NetInfo::exact(&far);
+
+        let mut sim = Sim::with_topology(&far, jam(), info, 0, mode(vec![(0.0, 0.0), (5.0, 0.0)]));
+        let mut states =
+            vec![Chatter { active: false, heard: vec![] }, Chatter { active: true, heard: vec![] }];
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.collisions, 0, "undecodable signal cannot be 'lost' to jamming");
+
+        let mut sim = Sim::with_topology(&far, jam(), info, 0, mode(vec![(0.0, 0.0), (0.2, 0.0)]));
+        let mut states =
+            vec![Chatter { active: false, heard: vec![] }, Chatter { active: true, heard: vec![] }];
+        let rep = sim.run_phase(&mut states, 1);
+        assert_eq!(rep.collisions, 1, "a decodable signal drowned by noise is a collision");
+        assert!(states[0].heard.is_empty());
+    }
+
+    #[test]
+    fn phase_waits_for_a_node_with_a_scheduled_return() {
+        // Hub 0 beacons forever; leaf 2 is asleep until step 5. The phase
+        // must keep running past the point where all *currently active*
+        // nodes are done, so the sleeper's wake-up is actually simulated.
+        let g = generators::star(4);
+        let info = NetInfo::exact(&g);
+        let topo = Sleeper { node: 2, wake_at: Some(5), awake: false };
+        let mut sim = Sim::with_topology(&g, topo, info, 0, ReceptionMode::Protocol);
+        let mut states: Vec<OneShot> =
+            g.nodes().map(|v| OneShot { source: v.index() == 0, heard: false }).collect();
+        let rep = sim.run_phase(&mut states, 100);
+        assert!(rep.completed);
+        assert_eq!(rep.steps, 6, "must run until the sleeper wakes at t=5 and hears");
+        assert!(states[2].heard);
+    }
+
+    #[test]
+    fn phase_completes_past_a_retired_node() {
+        // Same setup but the sleeper never returns: it is retired, and the
+        // phase completes as soon as everyone else is done.
+        let g = generators::star(4);
+        let info = NetInfo::exact(&g);
+        let topo = Sleeper { node: 2, wake_at: None, awake: false };
+        let mut sim = Sim::with_topology(&g, topo, info, 0, ReceptionMode::Protocol);
+        let mut states: Vec<OneShot> =
+            g.nodes().map(|v| OneShot { source: v.index() == 0, heard: false }).collect();
+        let rep = sim.run_phase(&mut states, 100);
+        assert!(rep.completed);
+        assert_eq!(rep.steps, 1);
+        assert!(!states[2].heard);
+    }
+
     #[test]
     fn single_transmitter_delivers() {
         let g = generators::star(4); // hub 0
@@ -294,8 +493,8 @@ mod tests {
         assert_eq!(rep.transmissions, 3);
         assert_eq!(rep.deliveries, 9); // 3 leaves × 3 steps
         assert_eq!(rep.collisions, 0);
-        for leaf in 1..4 {
-            assert_eq!(states[leaf].heard, vec![7, 7, 7]);
+        for state in &states[1..4] {
+            assert_eq!(state.heard, vec![7, 7, 7]);
         }
     }
 
@@ -331,8 +530,8 @@ mod tests {
         let mut sim = Sim::new(&g, NetInfo::exact(&g), 0);
         let mut states = chatters(&g, &[3]);
         sim.run_phase(&mut states, 1);
-        for i in 0..3 {
-            assert_eq!(states[i].heard, vec![7]);
+        for state in &states[0..3] {
+            assert_eq!(state.heard, vec![7]);
         }
     }
 
@@ -492,23 +691,18 @@ mod tests {
         let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
         let positions = vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.0)];
         let info = NetInfo::exact(&g);
-        let mode =
-            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
+        let mode = crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
         let mut sim = Sim::with_reception(&g, info, 0, mode);
-        let mut states: Vec<Chatter> = g
-            .nodes()
-            .map(|v| Chatter { active: v.index() != 0, heard: Vec::new() })
-            .collect();
+        let mut states: Vec<Chatter> =
+            g.nodes().map(|v| Chatter { active: v.index() != 0, heard: Vec::new() }).collect();
         let rep = sim.run_phase(&mut states, 1);
         assert_eq!(rep.deliveries, 1);
         assert_eq!(states[0].heard, vec![7]);
 
         // Same setup under the protocol model: nothing gets through.
         let mut sim = Sim::new(&g, info, 0);
-        let mut states: Vec<Chatter> = g
-            .nodes()
-            .map(|v| Chatter { active: v.index() != 0, heard: Vec::new() })
-            .collect();
+        let mut states: Vec<Chatter> =
+            g.nodes().map(|v| Chatter { active: v.index() != 0, heard: Vec::new() }).collect();
         let rep = sim.run_phase(&mut states, 1);
         assert_eq!(rep.deliveries, 0);
         assert!(states[0].heard.is_empty());
@@ -520,8 +714,7 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
         let positions = vec![(0.0, 0.0), (2.0, 0.0)];
         let info = NetInfo::exact(&g);
-        let mode =
-            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
+        let mode = crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
         let mut sim = Sim::with_reception(&g, info, 0, mode);
         let mut states = vec![
             Chatter { active: false, heard: Vec::new() },
@@ -535,10 +728,8 @@ mod tests {
     #[should_panic(expected = "one position per node")]
     fn sinr_position_count_checked() {
         let g = generators::path(3);
-        let mode = crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(
-            vec![(0.0, 0.0)],
-            1.0,
-        ));
+        let mode =
+            crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(vec![(0.0, 0.0)], 1.0));
         let _ = Sim::with_reception(&g, NetInfo::exact(&g), 0, mode);
     }
 }

@@ -13,6 +13,13 @@
 //! * the network is **ad-hoc**: protocols receive only the estimates in
 //!   [`NetInfo`], never the topology or their own degree.
 //!
+//! The engine reads the topology through a pluggable [`TopologyView`]
+//! rather than the graph directly; the default [`StaticTopology`] is the
+//! paper's model above, while dynamic views (see `radionet-scenario`)
+//! relax the static-graph and synchronous-wake-up assumptions — churn,
+//! partitions, jamming, staggered wake-up — to measure how the guarantees
+//! degrade.
+//!
 //! Protocols implement [`Protocol`] and are executed in *phases* by
 //! [`Sim::run_phase`]; per-node RNGs persist across phases so a whole
 //! multi-phase algorithm is a deterministic function of `(graph, seed)`.
@@ -56,9 +63,11 @@ pub mod multiplex;
 mod protocol;
 mod reception;
 mod stats;
+pub mod topology;
 
 pub use cost::CostModel;
 pub use engine::{PhaseReport, Sim};
 pub use protocol::{Action, NetInfo, NodeCtx, Protocol};
 pub use reception::{ReceptionMode, SinrConfig};
 pub use stats::SimStats;
+pub use topology::{StaticTopology, TopologyView};

@@ -167,7 +167,7 @@ mod tests {
             })
             .collect();
         sim.run_phase(&mut states, 6); // 3 A-steps, 3 B-steps
-        // Leaf 2 heard A's hub message at local times 0, 1, 2 (tags 1, 101, 201)
+                                       // Leaf 2 heard A's hub message at local times 0, 1, 2 (tags 1, 101, 201).
         assert_eq!(states[2].a.log, vec![(0, 1), (1, 101), (2, 201)]);
         // ... and B's leaf-1 message relayed via hub? No: leaf 1 and leaf 2 are
         // not adjacent in a star; only the hub hears B.
@@ -190,13 +190,13 @@ mod tests {
             })
             .collect();
         sim.run_phase(&mut states, 9);
-        for leaf in 1..4 {
-            assert_eq!(states[leaf].a.log.len(), 3);
-            assert_eq!(states[leaf].b.log.len(), 3);
-            assert_eq!(states[leaf].c.log.len(), 3);
-            assert_eq!(states[leaf].a.log[0], (0, 1));
-            assert_eq!(states[leaf].b.log[0], (0, 2));
-            assert_eq!(states[leaf].c.log[0], (0, 3));
+        for state in &states[1..4] {
+            assert_eq!(state.a.log.len(), 3);
+            assert_eq!(state.b.log.len(), 3);
+            assert_eq!(state.c.log.len(), 3);
+            assert_eq!(state.a.log[0], (0, 1));
+            assert_eq!(state.b.log[0], (0, 2));
+            assert_eq!(state.c.log[0], (0, 3));
         }
     }
 

@@ -116,10 +116,7 @@ mod tests {
     fn names() {
         assert_eq!(ReceptionMode::Protocol.name(), "protocol");
         assert_eq!(ReceptionMode::ProtocolCd.name(), "protocol+cd");
-        assert_eq!(
-            ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![], 1.0)).name(),
-            "sinr"
-        );
+        assert_eq!(ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![], 1.0)).name(), "sinr");
     }
 
     #[test]

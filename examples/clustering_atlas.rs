@@ -21,7 +21,15 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut table = Table::new([
-        "family", "n", "D", "beta", "centers", "clusters", "mean dist", "radius", "mean*beta",
+        "family",
+        "n",
+        "D",
+        "beta",
+        "centers",
+        "clusters",
+        "mean dist",
+        "radius",
+        "mean*beta",
     ]);
     for family in [Family::UnitDisk, Family::Grid, Family::Gnp, Family::Spider] {
         let g = family.instantiate(1024, 1);

@@ -40,16 +40,12 @@ fn main() {
             "broadcast completed: every node knows the message after {} time-steps",
             outcome.completion_time().expect("completed")
         );
-        println!(
-            "  setup (MIS + clusterings + schedules): {} steps",
-            outcome.compete.clock_setup
-        );
+        println!("  setup (MIS + clusterings + schedules): {} steps", outcome.compete.clock_setup);
         println!("  MIS valid: {:?}", outcome.compete.mis_valid);
         println!("  fine clusterings used: {}", outcome.compete.fine_count);
         println!("  propagation rounds: {}", outcome.compete.rounds_run);
     } else {
-        let informed =
-            outcome.compete.best.iter().filter(|b| b.is_some()).count();
+        let informed = outcome.compete.best.iter().filter(|b| b.is_some()).count();
         println!("broadcast incomplete: {informed}/{} informed", g.n());
     }
     let stats = sim.stats();

@@ -12,7 +12,7 @@
 
 use radionet::core::mis::{run_radio_mis, MisConfig, MisStatus};
 use radionet::graph::generators;
-use radionet::graph::independent_set::{is_maximal_independent_set, greedy_mis_min_degree};
+use radionet::graph::independent_set::{greedy_mis_min_degree, is_maximal_independent_set};
 use radionet::sim::{NetInfo, Sim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,16 +44,8 @@ fn main() {
     println!();
     println!("radio MIS finished in {} rounds / {} time-steps", outcome.rounds, outcome.steps);
     println!("cluster heads elected: {}", heads.len());
-    println!(
-        "valid maximal independent set: {}",
-        is_maximal_independent_set(g, &heads)
-    );
-    let uncovered = g
-        .nodes()
-        .filter(|v| {
-            outcome.status[v.index()] == MisStatus::Active
-        })
-        .count();
+    println!("valid maximal independent set: {}", is_maximal_independent_set(g, &heads));
+    let uncovered = g.nodes().filter(|v| outcome.status[v.index()] == MisStatus::Active).count();
     println!("undecided sensors: {uncovered}");
 
     // Compare against the centralized greedy reference.

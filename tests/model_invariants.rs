@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use radionet::cluster::mpx;
 use radionet::cluster::ClusterSchedule;
 use radionet::graph::independent_set::greedy_mis_min_degree;
-use radionet::graph::{GraphBuilder, Graph};
+use radionet::graph::{Graph, GraphBuilder};
 use radionet::sim::{Action, NetInfo, NodeCtx, Protocol, Sim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,12 +40,7 @@ struct Scripted {
 impl Protocol for Scripted {
     type Msg = u32;
     fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<u32> {
-        if self
-            .transmit_steps
-            .get(ctx.time as usize)
-            .copied()
-            .unwrap_or(false)
-        {
+        if self.transmit_steps.get(ctx.time as usize).copied().unwrap_or(false) {
             Action::Transmit(self.id)
         } else {
             Action::Listen

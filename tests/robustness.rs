@@ -1,12 +1,13 @@
 //! Robustness and failure-injection tests: estimate slack, disconnected
-//! inputs, exhausted budgets, adversarial seeds.
+//! inputs, exhausted budgets, adversarial seeds, and dynamic topologies.
 
 use radionet::core::broadcast::run_broadcast;
 use radionet::core::compete::CompeteConfig;
 use radionet::core::mis::{run_radio_mis, MisConfig};
 use radionet::graph::families::Family;
 use radionet::graph::Graph;
-use radionet::sim::{CostModel, NetInfo, Sim};
+use radionet::scenario::{DynamicTopology, EventKind, ScenarioEvent};
+use radionet::sim::{CostModel, NetInfo, ReceptionMode, Sim};
 
 #[test]
 fn estimate_slack_tolerated() {
@@ -78,6 +79,56 @@ fn starved_budget_reports_incomplete() {
     let out = run_broadcast(&mut sim, g.node(95), 2, &config);
     assert!(!out.completed());
     assert!(out.completion_time().is_none());
+}
+
+#[test]
+fn partition_then_repair_broadcast_completes() {
+    // End-to-end dynamic-network scenario: the grid splits into two halves
+    // before the run makes progress, heals mid-run, and broadcast must
+    // still complete — the recovery guarantee the scenario subsystem
+    // exists to measure. The run is also a pure function of the seed: two
+    // executions must agree step-for-step.
+    let g = Family::Grid.instantiate(49, 5);
+    let info = NetInfo::exact(&g);
+    let script = vec![
+        ScenarioEvent::new(100, EventKind::Partition(2)),
+        ScenarioEvent::new(3500, EventKind::Heal),
+    ];
+    let run = |seed: u64| {
+        let topo = DynamicTopology::new(&g, script.clone());
+        let mut sim = Sim::with_topology(&g, topo, info, seed, ReceptionMode::Protocol);
+        let out = run_broadcast(&mut sim, g.node(0), 9, &CompeteConfig::default());
+        (out.completed(), out.completion_time(), sim.stats().simulated_steps)
+    };
+    let (completed, informed_at, steps) = run(21);
+    assert!(completed, "broadcast did not recover after the repair");
+    let informed_at = informed_at.expect("completed runs report an informed time");
+    assert!(informed_at > 3500, "cannot finish while the cut is open");
+
+    let (c2, t2, s2) = run(21);
+    assert!(c2);
+    assert_eq!(t2, Some(informed_at), "informed time not deterministic");
+    assert_eq!(s2, steps, "step count not deterministic for a fixed seed");
+
+    let (_, t3, _) = run(22);
+    assert_ne!(t3, Some(informed_at), "different seeds should differ");
+}
+
+#[test]
+fn crashed_half_defeats_broadcast_without_repair() {
+    // Control for the test above: a partition that never heals must leave
+    // the far block uninformed (the engine cannot leak messages across a
+    // cut).
+    let g = Family::Grid.instantiate(36, 2);
+    let info = NetInfo::exact(&g);
+    let script = vec![ScenarioEvent::new(0, EventKind::Partition(2))];
+    let topo = DynamicTopology::new(&g, script);
+    let mut sim = Sim::with_topology(&g, topo, info, 4, ReceptionMode::Protocol);
+    let out = run_broadcast(&mut sim, g.node(0), 9, &CompeteConfig::default());
+    assert!(!out.completed(), "a permanent cut must not be crossed");
+    let informed = out.compete.best.iter().filter(|b| **b == Some(9)).count();
+    assert!(informed < g.n(), "some node past the cut stayed uninformed");
+    assert!(informed > 0, "the source's own block must still be informed");
 }
 
 #[test]

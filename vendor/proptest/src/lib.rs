@@ -1,0 +1,401 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! [`Strategy`] with `prop_map` / `prop_flat_map`, ranges / tuples / regex
+//! string literals as strategies, `any::<T>()`, and
+//! [`collection::vec`] / [`collection::btree_map`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** Every case is a deterministic function of the test's
+//!   module path, name, and case index, so a failure reproduces exactly on
+//!   re-run; the failing `assert!` message plus determinism replace minimal
+//!   counterexamples.
+//! * String strategies accept the regex subset actually used in this
+//!   workspace: literals, `[...]` classes with ranges, and `{m}` / `{m,n}`
+//!   repetition.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Any, FlatMap, Just, Map, Strategy};
+
+/// The deterministic per-case random source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// The generator for case `case` of the test identified by `name`
+    /// (module path + function name).
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    pub(crate) fn next_usize(&mut self, range: Range<usize>) -> usize {
+        self.0.gen_range(range)
+    }
+}
+
+/// Runner configuration (`cases` only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count, honoring a `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] rejections: the case is skipped.
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseSkip;
+
+/// A strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning many magnitudes (no NaN/inf, as most
+    /// proptest consumers immediately filter them).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mag = rng.next_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// The usual glob import: macros, [`Strategy`], [`any`], config.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseSkip, TestRng,
+    };
+}
+
+// ---- Range and literal strategies ----------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + (rng.next_u64() % span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// `&str` strategies are regex patterns (subset: literals, classes,
+/// `{m}` / `{m,n}` repetition).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a class or a literal char.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"\\^$.|?*+()".contains(c),
+                "unsupported regex syntax {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("bad repeat count"),
+                    b.trim().parse::<usize>().expect("bad repeat count"),
+                ),
+                None => {
+                    let m = body.trim().parse::<usize>().expect("bad repeat count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if lo == hi { lo } else { rng.next_usize(lo..hi + 1) };
+        for _ in 0..count {
+            out.push(class[rng.next_usize(0..class.len())]);
+        }
+    }
+    out
+}
+
+// ---- Macros ---------------------------------------------------------------
+
+/// The property-test macro: each `fn name(x in strategy, ...)` body runs for
+/// `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.resolved_cases() {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseSkip> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    let _ = __outcome;
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = TestRng::deterministic("x::y", 3);
+        let mut b = TestRng::deterministic("x::y", 3);
+        let mut c = TestRng::deterministic("x::y", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn pattern_strategies() {
+        let mut rng = TestRng::deterministic("pat", 0);
+        for _ in 0..200 {
+            let id = Strategy::generate(&"[A-Z][0-9]{1,3}", &mut rng);
+            assert!((2..=4).contains(&id.len()), "{id}");
+            assert!(id.chars().next().unwrap().is_ascii_uppercase());
+            assert!(id.chars().skip(1).all(|c| c.is_ascii_digit()));
+
+            let key = Strategy::generate(&"[a-z_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&key.len()));
+            assert!(key.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn range_strategies_in_bounds() {
+        let mut rng = TestRng::deterministic("rng", 1);
+        for _ in 0..500 {
+            let x = Strategy::generate(&(2usize..40), &mut rng);
+            assert!((2..40).contains(&x));
+            let y = Strategy::generate(&(-3.0f64..4.0), &mut rng);
+            assert!((-3.0..4.0).contains(&y));
+            let z = Strategy::generate(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&z));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, tuples work, assume skips.
+        #[test]
+        fn macro_smoke(n in 2usize..10, pair in (0u32..5, any::<bool>())) {
+            prop_assume!(n != 3);
+            prop_assert!((2..10).contains(&n));
+            prop_assert!(pair.0 < 5);
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_dependent_values(pair in (2usize..30).prop_flat_map(|n| {
+            collection::vec(0..n, 1..20).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = pair;
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset the workspace uses —
+//! `par_iter()` / `into_par_iter()`, [`ParallelIterator::map`],
+//! [`ParallelIterator::collect`], and [`current_num_threads`] — over
+//! `std::thread::scope`. Work is distributed dynamically (one shared atomic
+//! cursor), results are written back by index, and `collect` always yields
+//! items in input order, so parallel results are byte-identical to a
+//! sequential run of the same closures.
+//!
+//! `RAYON_NUM_THREADS` is honored exactly as in upstream rayon; `1` gives a
+//! fully in-thread execution (useful to compare against the parallel path).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! The usual glob import.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over `items` on the worker pool, preserving input order in the
+/// output.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    parallel_map_with(items, f, current_num_threads())
+}
+
+/// [`parallel_map`] with an explicit worker count (exposed for tests and
+/// benchmarks that must exercise the threaded path regardless of the host's
+/// CPU budget).
+#[doc(hidden)]
+pub fn parallel_map_with<T: Send, R: Send>(
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+    threads: usize,
+) -> Vec<R> {
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Dynamic scheduling: workers pull the next unclaimed index. Item
+    // ownership moves through per-slot mutexes (the cursor guarantees each
+    // slot is taken exactly once; the mutex is what proves it to the
+    // borrow checker without unsafe).
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("worker panicked while taking an item")
+                    .take()
+                    .expect("slot already taken");
+                let out = f(item);
+                *results[i].lock().expect("worker panicked while storing a result") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("worker panicked while storing a result")
+                .expect("missing parallel result")
+        })
+        .collect()
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter(self.collect())
+    }
+}
+
+/// An ordered parallel pipeline.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes the pipeline's results, in input order. (Stub-internal
+    /// driver; upstream rayon has no such method.)
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` on the worker pool.
+    fn map<R, F>(self, f: F) -> MapPar<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        MapPar { inner: self, f }
+    }
+
+    /// Collects results, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Calls `f` on every element on the worker pool.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.run().into_iter().sum()
+    }
+}
+
+/// Base iterator over an owned vector.
+#[derive(Clone, Debug)]
+pub struct VecParIter<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.0
+    }
+}
+
+/// See [`ParallelIterator::map`].
+#[derive(Clone, Debug)]
+pub struct MapPar<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for MapPar<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(self.inner.run(), self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_collect() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u64> = (0..100).collect();
+        let total: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 4950);
+        assert_eq!(v.len(), 100); // still usable
+    }
+
+    #[test]
+    fn matches_sequential_under_one_thread() {
+        // The parallel and sequential paths run the same closures on the
+        // same items in the same output order, whatever the thread count.
+        let input: Vec<u64> = (0..500).collect();
+        let seq: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(x)).collect();
+        let par: Vec<u64> = input.into_par_iter().map(|x| x.wrapping_mul(x)).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..16usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn threaded_path_preserves_order() {
+        // Force real worker threads even on a single-CPU host.
+        let items: Vec<usize> = (0..257).collect();
+        let out = super::parallel_map_with(items, |x| x * 3, 4);
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_path_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        let out = super::parallel_map_with(
+            items,
+            |x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                // Hold the slot long enough that one worker cannot drain
+                // the whole queue alone.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x + 1
+            },
+            4,
+        );
+        assert_eq!(out.len(), 64);
+        assert!(seen.lock().unwrap().len() > 1, "work never left the spawning thread");
+    }
+}

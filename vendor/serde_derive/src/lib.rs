@@ -1,0 +1,335 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stub serde's tree-valued `Serialize` /
+//! `Deserialize` traits. With no crates.io access there is no `syn`/`quote`;
+//! the item is parsed directly from the [`proc_macro::TokenStream`]. The
+//! supported shapes are exactly what the workspace derives on:
+//!
+//! * structs with named fields (including empty `{}` bodies),
+//! * unit structs (`struct Marker;`),
+//! * enums whose variants are unit or one-field tuples.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub serde's `Serialize` (tree-building) impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the stub serde's `Deserialize` (tree-matching) impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&item.shape, serialize) {
+        (Shape::Struct(fields), true) => struct_serialize(&item.name, fields),
+        (Shape::Struct(fields), false) => struct_deserialize(&item.name, fields),
+        (Shape::Unit, true) => unit_serialize(&item.name),
+        (Shape::Unit, false) => unit_deserialize(&item.name),
+        (Shape::Enum(variants), true) => enum_serialize(&item.name, variants),
+        (Shape::Enum(variants), false) => enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// A variant: its name and whether it carries one tuple payload.
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips leading `#[...]` attributes and visibility modifiers in `toks`
+/// starting at `i`, returning the next index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` (outer attribute / doc comment).
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)` carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("the offline serde_derive does not support generic type `{name}`"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item { name, shape: Shape::Unit })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item { name, shape: Shape::Struct(fields) })
+            }
+            other => Err(format!(
+                "unsupported struct body for `{name}` (tuple structs are not \
+                 supported by the offline serde_derive): {other:?}"
+            )),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item { name, shape: Shape::Enum(variants) })
+            }
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or one past the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    if g.stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','))
+                    {
+                        return Err(format!(
+                            "variant `{name}` has multiple fields; the offline \
+                             serde_derive supports only one-field tuple variants"
+                        ));
+                    }
+                    has_payload = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "variant `{name}` has named fields, which the offline \
+                         serde_derive does not support"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => return Err(format!("expected `,` after `{name}`, found {other:?}")),
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    Ok(variants)
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts
+            .push_str(&format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{inserts}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut builds = String::new();
+    for f in fields {
+        builds.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fields, \"{f}\")?)?,"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Object(__fields) => Ok({name} {{ {builds} }}),\n\
+                     __other => Err(::serde::DeError::msg(format!(\n\
+                         \"expected object for struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn unit_serialize(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+         }}"
+    )
+}
+
+fn unit_deserialize(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Null => Ok({name}),\n\
+                     __other => Err(::serde::DeError::msg(format!(\n\
+                         \"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        if v.has_payload {
+            arms.push_str(&format!(
+                "{name}::{vn}(__x) => ::serde::Value::Object(vec![(\
+                 \"{vn}\".to_string(), ::serde::Serialize::to_value(__x))]),"
+            ));
+        } else {
+            arms.push_str(&format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        if v.has_payload {
+            obj_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+            ));
+        } else {
+            str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {str_arms}\n\
+                         __other => Err(::serde::DeError::msg(format!(\n\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {obj_arms}\n\
+                             __other => Err(::serde::DeError::msg(format!(\n\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::DeError::msg(format!(\n\
+                         \"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
