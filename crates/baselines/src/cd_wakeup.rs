@@ -11,7 +11,7 @@
 //! the gap against Decay-based flooding under the paper's model.
 
 use radionet_graph::NodeId;
-use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView};
+use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView, Wake};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the CD wake-up flood.
@@ -75,6 +75,18 @@ impl Protocol for CdWakeupNode {
 
     fn is_done(&self) -> bool {
         self.awake
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        if self.awake {
+            // Awake nodes beacon every step.
+            Wake::Now
+        } else {
+            // Sleeping nodes are pure listeners until any signal — message
+            // or collision — reaches them; the sparse kernel advances the
+            // frontier in O(frontier-boundary) work per step.
+            Wake::listen()
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //! baselines).
 
 use radionet_graph::NodeId;
-use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, Sim, TopologyView};
+use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, Sim, TopologyView, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +87,16 @@ impl Protocol for CrNode {
     fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, msg: &u64) {
         if self.best.is_none_or(|b| b < *msg) {
             self.best = Some(*msg);
+        }
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        // Uninformed nodes listen passively until the frontier arrives;
+        // informed nodes coin-flip every step.
+        if self.best.is_some() {
+            Wake::Now
+        } else {
+            Wake::listen()
         }
     }
 }

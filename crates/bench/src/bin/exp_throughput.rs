@@ -1,0 +1,14 @@
+//! Experiment E15 binary — sparse step-kernel throughput.
+fn main() {
+    let scale = radionet_bench::Scale::from_env();
+    let record = radionet_bench::experiments::e15_throughput(scale);
+    save(&record);
+}
+
+fn save(record: &radionet_analysis::ExperimentRecord) {
+    let dir = std::path::Path::new("results");
+    match record.save(dir) {
+        Ok(path) => eprintln!("record written to {}", path.display()),
+        Err(e) => eprintln!("could not write record: {e}"),
+    }
+}

@@ -15,6 +15,7 @@
 //! | E11 | design ablations | [`e11_ablations`] |
 //! | E12 | S2 constant calibration | [`e12_calibration`] |
 //! | E14 | dynamic-network scenarios | [`e14_scenarios`] |
+//! | E15 | sparse step-kernel throughput | [`e15_throughput`] |
 
 mod broadcast_exp;
 mod cluster_exp;
@@ -22,6 +23,7 @@ mod mis_exp;
 mod models_exp;
 mod primitives_exp;
 mod scenarios_exp;
+mod throughput_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
 pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
@@ -29,6 +31,7 @@ pub use mis_exp::{e10_golden_rounds, e3_mis_scaling, e4_mis_baselines};
 pub use models_exp::e13_models;
 pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
 pub use scenarios_exp::e14_scenarios;
+pub use throughput_exp::e15_throughput;
 
 use radionet_analysis::ExperimentRecord;
 
@@ -62,5 +65,6 @@ pub fn run_all(scale: crate::Scale) -> Vec<ExperimentRecord> {
         e12_calibration(scale),
         e13_models(scale),
         e14_scenarios(scale),
+        e15_throughput(scale),
     ]
 }

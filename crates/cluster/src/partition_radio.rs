@@ -19,7 +19,7 @@ use crate::mpx::Clustering;
 use radionet_graph::{traversal, Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::ids::random_id;
-use radionet_sim::{Action, NodeCtx, PhaseReport, Protocol, Sim, TopologyView};
+use radionet_sim::{Action, NodeCtx, PhaseReport, Protocol, Sim, TopologyView, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -227,6 +227,29 @@ impl Protocol for RadioPartitionNode {
 
     fn is_done(&self) -> bool {
         self.elapsed + 1 >= self.total_phases * self.phase_steps
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        let total = self.total_phases * self.phase_steps;
+        if now + 1 >= total {
+            return Wake::Retire;
+        }
+        match self.state {
+            // Claimed in an earlier phase: transmitting Decay, fresh coin
+            // every step.
+            NodeState::Claimed { claim_phase, .. } if now / self.phase_steps > claim_phase => {
+                Wake::Now
+            }
+            // Unclaimed, or claimed this very phase: a pure listener until
+            // the next phase boundary, where offers commit / transmission
+            // starts / centers may self-claim. The cluster-phase structure
+            // is exactly what the sparse kernel exploits: most nodes spend
+            // most phases waiting for an offer.
+            _ => {
+                let boundary = (now / self.phase_steps + 1) * self.phase_steps;
+                Wake::Listen { wake_at: boundary.min(total), done_at: Some(total - 1) }
+            }
+        }
     }
 }
 

@@ -31,7 +31,7 @@ use radionet_cluster::quantities::j_range;
 use radionet_cluster::{ClusterSchedule, Clustering, RadioPartitionConfig};
 use radionet_graph::NodeId;
 use radionet_primitives::ids::random_id;
-use radionet_sim::{Action, CostModel, NodeCtx, Protocol, Sim, TopologyView};
+use radionet_sim::{Action, CostModel, NodeCtx, Protocol, Sim, TopologyView, Wake};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -420,6 +420,20 @@ impl Protocol for RoundNode {
         self.icp_main.finished(sub)
             && self.bg.as_ref().map(|(icp, _)| icp.finished(sub)).unwrap_or(true)
     }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        if self.best.is_some() {
+            // Informed: the background decay strands coin-flip most steps.
+            return Wake::Now;
+        }
+        // Uninformed: all four strands are silent and random-free, so the
+        // node is a pure listener until the frontier reaches it. Its done
+        // promise is the slowest of its own ICP timelines (4-way
+        // multiplexed), matching what is_done would report step by step.
+        let len_main = self.icp_main.timeline_len() as u64;
+        let len_bg = self.bg.as_ref().map(|(icp, _)| icp.timeline_len() as u64).unwrap_or(0);
+        Wake::Listen { wake_at: Wake::NEVER, done_at: Some(4 * len_main.max(len_bg)) }
+    }
 }
 
 /// Stage 6 + 7: each coarse center draws a PRG seed; the seed is downcast
@@ -490,6 +504,23 @@ impl Protocol for SeedNode {
 
     fn is_done(&self) -> bool {
         self.seq.finished(self.elapsed)
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        let len = self.seq.timeline_len() as u64;
+        // Step 0 initializes center seeds (a random draw); after that a
+        // node only needs `act` in its own scheduled downcast slots — and
+        // only once it has a seed to forward. Everything else is passive
+        // listening; done once the timeline is exhausted.
+        let done_at = Some(len);
+        if self.seed.is_some() {
+            match self.seq.next_scheduled_at(now + 1) {
+                Some(slot) if slot < len => Wake::Listen { wake_at: slot, done_at },
+                _ => Wake::Listen { wake_at: Wake::NEVER, done_at },
+            }
+        } else {
+            Wake::Listen { wake_at: Wake::NEVER, done_at }
+        }
     }
 }
 

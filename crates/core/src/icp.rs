@@ -152,6 +152,15 @@ impl IcpSeq {
         t >= self.timeline.len() as u64
     }
 
+    /// The first protocol-local step `≥ t` in which this node is a
+    /// scheduled transmitter, if any. Does not advance the cursor — this is
+    /// the lookahead the sparse kernel's wake hints are built from (a node
+    /// sleeps through every slot that isn't its own).
+    pub fn next_scheduled_at(&self, t: u64) -> Option<u64> {
+        let start = self.cursor + self.my_slots[self.cursor..].partition_point(|&s| (s as u64) < t);
+        self.my_slots.get(start).map(|&s| s as u64)
+    }
+
     /// Length of the underlying timeline in slots.
     pub fn timeline_len(&self) -> usize {
         self.timeline.len()

@@ -21,7 +21,7 @@ use radionet_graph::independent_set::is_maximal_independent_set;
 use radionet_graph::{Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::effective_degree::{EedConfig, EedCounter, EedVerdict};
-use radionet_sim::{Action, NodeCtx, Protocol, Sim, TopologyView};
+use radionet_sim::{Action, NodeCtx, Protocol, Sim, TopologyView, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -322,6 +322,23 @@ impl Protocol for MisNode {
         // *earlier* segments already dominated all neighbors whp.)
         self.status != MisStatus::Active
     }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        match self.status {
+            // Dominated nodes idle in every segment, never transmit, never
+            // draw randomness (`start_round`'s mark coin short-circuits on
+            // non-Active status), and `Dominated` is absorbing — the
+            // remaining round bookkeeping is unobservable. Except when
+            // history recording is on: `finish_round` then still updates
+            // the dominated node's last trajectory record at the next
+            // round boundary, which *is* observable (E10 measures it), so
+            // those runs must keep acting.
+            MisStatus::Dominated if !self.config.record_history => Wake::Retire,
+            // Active nodes coin-flip constantly; MIS members keep
+            // announcing in every round's MisDecay segment.
+            _ => Wake::Now,
+        }
+    }
 }
 
 /// Outcome of a Radio MIS run.
@@ -476,6 +493,26 @@ mod tests {
             assert!(!h.is_empty());
             assert!(h.iter().all(|r| r.p > 0.0 && r.p <= 0.5));
         }
+    }
+
+    #[test]
+    fn histories_identical_across_kernels() {
+        // Regression: a Dominated node that retires under the sparse
+        // kernel must not freeze its trajectory record — `finish_round`
+        // still stamps status/verdict at the next round boundary when
+        // history recording is on, and E10's golden-round statistics read
+        // exactly that. The reproduction seed (grid 5×5, seed 7) showed
+        // 9 vs 24 "removed" records before the fix.
+        use radionet_sim::Kernel;
+        let g = generators::grid2d(5, 5);
+        let cfg = MisConfig { record_history: true, ..MisConfig::fast() };
+        let run = |kernel| {
+            let mut sim = Sim::new(&g, NetInfo::exact(&g), 7);
+            sim.set_kernel(kernel);
+            let out = run_radio_mis(&mut sim, &cfg);
+            (out.status, out.history, out.steps, sim.rng_fingerprint())
+        };
+        assert_eq!(run(Kernel::Sparse), run(Kernel::Dense));
     }
 
     #[test]

@@ -138,6 +138,18 @@ impl Graph {
         &self.neighbors[lo..hi]
     }
 
+    /// The raw CSR arrays `(offsets, targets)`: the neighbors of node `i`
+    /// are `targets[offsets[i] as usize..offsets[i + 1] as usize]`.
+    ///
+    /// This is the zero-overhead accessor the simulator's sparse step
+    /// kernel and the large-graph BFS routines iterate with — hoisting the
+    /// two slices out of a hot loop beats re-deriving a sub-slice through
+    /// [`neighbors`](Graph::neighbors) per node.
+    #[inline]
+    pub fn csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.neighbors)
+    }
+
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
@@ -258,6 +270,19 @@ mod tests {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
         let ns: Vec<usize> = g.neighbors(g.node(2)).iter().map(|v| v.index()).collect();
         assert_eq!(ns, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn csr_matches_neighbors() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)]).unwrap();
+        let (offsets, targets) = g.csr();
+        assert_eq!(offsets.len(), g.n() + 1);
+        assert_eq!(targets.len(), 2 * g.m());
+        for v in g.nodes() {
+            let lo = offsets[v.index()] as usize;
+            let hi = offsets[v.index() + 1] as usize;
+            assert_eq!(&targets[lo..hi], g.neighbors(v));
+        }
     }
 
     #[test]

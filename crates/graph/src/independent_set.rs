@@ -361,6 +361,15 @@ impl AlphaBounds {
 /// bracket is tight. Otherwise combines the best found independent set
 /// (lower) with the minimum of the clique-cover and matching upper bounds.
 pub fn alpha_bounds(g: &Graph, budget: u64) -> AlphaBounds {
+    if g.n() > EXACT_SEARCH_MAX_N {
+        // The branch-and-bound solver materializes Θ(n²/64) bitset
+        // adjacency — 125 GB at a million nodes — so huge graphs go
+        // straight to the near-linear greedy/cover bracket. Still within
+        // the paper's "any polynomial approximation" tolerance.
+        let lower = greedy_mis_min_degree(g).len();
+        let upper = clique_cover_upper_bound(g).min(matching_upper_bound(g));
+        return AlphaBounds { lower, upper: upper.max(lower), exact: upper <= lower };
+    }
     match maximum_independent_set(g, budget) {
         ExactAlpha::Exact(set) => AlphaBounds { lower: set.len(), upper: set.len(), exact: true },
         ExactAlpha::BudgetExhausted(set) => {
@@ -369,6 +378,11 @@ pub fn alpha_bounds(g: &Graph, budget: u64) -> AlphaBounds {
         }
     }
 }
+
+/// Above this node count [`alpha_bounds`] skips the exact solver entirely
+/// (its bitset adjacency is quadratic in memory) and reports the
+/// greedy-vs-cover bracket computed in near-linear time.
+pub const EXACT_SEARCH_MAX_N: usize = 16_384;
 
 #[cfg(test)]
 mod tests {
@@ -458,6 +472,16 @@ mod tests {
         assert_eq!(b.lower, 10);
         assert_eq!(b.upper, 10);
         assert!((b.estimate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_graphs_skip_the_exact_solver() {
+        // Path of 20k nodes: well past EXACT_SEARCH_MAX_N; the greedy/cover
+        // bracket must come back quickly and bracket α = ⌈n/2⌉.
+        let g = generators::path(20_000);
+        let b = alpha_bounds(&g, u64::MAX);
+        assert!(b.lower <= 10_000 && 10_000 <= b.upper, "{b:?}");
+        assert!(b.lower as f64 >= 0.4 * 20_000.0, "greedy far below α/2: {b:?}");
     }
 
     #[test]

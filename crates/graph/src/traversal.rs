@@ -19,7 +19,11 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
 /// BFS distances from the nearest of `sources`; [`UNREACHABLE`] where none.
 ///
 /// With an empty source set, every node is unreachable.
+///
+/// Iterates the raw CSR arrays ([`Graph::csr`]) so million-node sweeps pay
+/// no per-node slice re-derivation.
 pub fn bfs_distances_multi(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let (offsets, targets) = g.csr();
     let mut dist = vec![UNREACHABLE; g.n()];
     let mut queue = VecDeque::new();
     for &s in sources {
@@ -29,8 +33,9 @@ pub fn bfs_distances_multi(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
         }
     }
     while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
-        for &w in g.neighbors(u) {
+        let ui = u.index();
+        let du = dist[ui];
+        for &w in &targets[offsets[ui] as usize..offsets[ui + 1] as usize] {
             if dist[w.index()] == UNREACHABLE {
                 dist[w.index()] = du + 1;
                 queue.push_back(w);
@@ -188,6 +193,37 @@ pub fn diameter(g: &Graph) -> u32 {
     }
 }
 
+/// Double-sweep BFS diameter estimate in exactly three BFS passes: sweep
+/// from a max-degree node to a far vertex `a`, from `a` to the farthest
+/// vertex `b`, then once more from `b`, reporting the largest eccentricity
+/// seen.
+///
+/// The estimate is a *lower* bound on the true diameter `D`, and because
+/// every eccentricity is at least `D/2` it is always within a factor 2 —
+/// the "linear estimate" tolerance the paper's ad-hoc model grants the
+/// simulator's `NetInfo` consumers. On trees it is exact, and on
+/// the path/cycle/grid/geometric families used here it is exact in
+/// practice; what it buys is `O(n + m)` setup on million-node graphs where
+/// all-pairs BFS is `O(n·m)` and even iFUB may degenerate.
+///
+/// Disconnected graphs report the bound within the start node's component
+/// (matching the largest-eccentricity-seen convention of the exact
+/// routines only when the start component realizes it).
+pub fn diameter_double_sweep(g: &Graph) -> u32 {
+    if g.n() <= 1 {
+        return 0;
+    }
+    let start = g.nodes().max_by_key(|&v| g.degree(v)).expect("nonempty graph");
+    let d0 = bfs_distances(g, start);
+    let a = argmax_finite(&d0);
+    let da = bfs_distances(g, a);
+    let b = argmax_finite(&da);
+    let ecc_a = da[b.index()];
+    let db = bfs_distances(g, b);
+    let ecc_b = db.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0);
+    ecc_a.max(ecc_b)
+}
+
 /// Nodes within hop distance `d` of `v` (including `v`).
 pub fn ball(g: &Graph, v: NodeId, d: u32) -> Vec<NodeId> {
     let dist = bfs_distances(g, v);
@@ -264,6 +300,39 @@ mod tests {
         ] {
             assert_eq!(diameter_exact(&g), diameter_ifub(&g), "family {g:?}");
         }
+    }
+
+    #[test]
+    fn double_sweep_exact_on_common_families() {
+        for g in [
+            generators::path(33),
+            generators::cycle(16),
+            generators::grid2d(6, 9),
+            generators::complete(7),
+            generators::star(12),
+            generators::binary_tree(5),
+        ] {
+            assert_eq!(diameter_double_sweep(&g), diameter_exact(&g), "family {g:?}");
+        }
+    }
+
+    #[test]
+    fn double_sweep_within_factor_two() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for n in [40usize, 90] {
+            let g = generators::connected_gnp(n, 0.08, &mut rng);
+            let exact = diameter_exact(&g);
+            let est = diameter_double_sweep(&g);
+            assert!(est <= exact, "estimate must be a lower bound");
+            assert!(2 * est >= exact, "estimate {est} below half of exact {exact}");
+        }
+    }
+
+    #[test]
+    fn double_sweep_degenerate_graphs() {
+        assert_eq!(diameter_double_sweep(&Graph::from_edges(1, []).unwrap()), 0);
+        assert_eq!(diameter_double_sweep(&Graph::from_edges(0, []).unwrap()), 0);
     }
 
     #[test]

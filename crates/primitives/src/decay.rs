@@ -8,7 +8,7 @@
 //! iterations amplify this to high probability (Claim 10, validated by
 //! experiment E1).
 
-use radionet_sim::{Action, NodeCtx, Protocol};
+use radionet_sim::{Action, NodeCtx, Protocol, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -105,14 +105,21 @@ impl<M: Clone> DecayProtocol<M> {
 impl<M: Clone> Protocol for DecayProtocol<M> {
     type Msg = M;
 
+    // Time-based (phase-local `ctx.time`) rather than call-counting, so the
+    // sparse kernel can skip the pure-listener steps: an uncalled listener's
+    // state is bit-identical to a called one's, except for the `elapsed`
+    // bookkeeping that `act` re-derives from the clock whenever it runs.
     fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<M> {
-        if self.elapsed >= self.config.total_steps(self.schedule) {
+        let total = self.config.total_steps(self.schedule);
+        if ctx.time >= total {
+            self.elapsed = total;
             return Action::Idle;
         }
-        let t = self.elapsed;
-        self.elapsed += 1;
+        self.elapsed = ctx.time + 1;
         match &self.message {
-            Some(m) if ctx.rng.gen_bool(self.schedule.prob(t)) => Action::Transmit(m.clone()),
+            Some(m) if ctx.rng.gen_bool(self.schedule.prob(ctx.time)) => {
+                Action::Transmit(m.clone())
+            }
             _ => Action::Listen,
         }
     }
@@ -123,6 +130,20 @@ impl<M: Clone> Protocol for DecayProtocol<M> {
 
     fn is_done(&self) -> bool {
         self.elapsed >= self.config.total_steps(self.schedule)
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        let total = self.config.total_steps(self.schedule);
+        if now + 1 >= total {
+            Wake::Retire
+        } else if self.message.is_some() {
+            // Transmitters flip a coin every step.
+            Wake::Now
+        } else {
+            // Pure listeners: passive through the whole schedule, done at
+            // its end (the final act at `total` only turns listening off).
+            Wake::Listen { wake_at: total, done_at: Some(total - 1) }
+        }
     }
 }
 

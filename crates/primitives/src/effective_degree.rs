@@ -14,7 +14,7 @@
 //! `≈ d·e^{-d} = Ω(1)` for `d ≥ 1` versus `≤ 2·0.01` for `d ≤ 0.01`, so a
 //! threshold fraction between those separates reliably.
 
-use radionet_sim::{Action, NodeCtx, Protocol};
+use radionet_sim::{Action, NodeCtx, Protocol, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -191,6 +191,16 @@ impl Protocol for EedProtocol {
 
     fn is_done(&self) -> bool {
         self.counter.finished()
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        // Every live step draws a transmit coin; once the counter finishes,
+        // `act` is a pure `Idle` forever.
+        if self.counter.finished() {
+            Wake::Retire
+        } else {
+            Wake::Now
+        }
     }
 }
 

@@ -8,15 +8,19 @@
 //! leader-election baseline.
 
 use crate::decay::DecaySchedule;
-use radionet_sim::{Action, NodeCtx, Protocol};
+use radionet_sim::{Action, NodeCtx, Protocol, Wake};
 use rand::Rng;
 
 /// Decay-flooding protocol state for one node.
 ///
 /// The message type must be totally ordered; higher messages override lower
 /// ones (the paper's `Compete` uses the same lexicographic-override rule).
-/// The protocol never self-terminates (completion is not locally detectable
-/// in the radio model); run it for a caller-chosen step budget.
+/// By default the protocol never self-terminates (completion is not locally
+/// detectable in the radio model); run it for a caller-chosen step budget,
+/// or construct it [`with_quiesce`](FloodProtocol::with_quiesce) so each
+/// node retires a fixed number of steps after becoming informed — the
+/// standard local-termination variant, and the one that keeps million-node
+/// sparse runs at `O(log n)` amortized work per node.
 #[derive(Clone, Debug)]
 pub struct FloodProtocol<M> {
     schedule: DecaySchedule,
@@ -24,17 +28,39 @@ pub struct FloodProtocol<M> {
     best: Option<M>,
     /// Steps already spent *as an informed node* (drives the decay phase).
     informed_steps: u64,
+    /// Retire after this many informed steps (`u64::MAX` = never).
+    quiesce_after: u64,
 }
 
 impl<M: Clone + Ord> FloodProtocol<M> {
     /// A source (with `Some(message)`) or an uninformed node (`None`).
     pub fn new(schedule: DecaySchedule, message: Option<M>) -> Self {
-        FloodProtocol { schedule, best: message, informed_steps: 0 }
+        FloodProtocol { schedule, best: message, informed_steps: 0, quiesce_after: u64::MAX }
+    }
+
+    /// Like [`new`](FloodProtocol::new), but the node goes permanently idle
+    /// (and reports [`Protocol::is_done`]) once it has spent
+    /// `active_iterations` full Decay iterations informed. With
+    /// `active_iterations = Θ(log n)` the flood still completes whp — each
+    /// node's neighborhood is served within `O(log n)` iterations of the
+    /// frontier's arrival — while total work drops from `O(n · steps)` to
+    /// `O(n log² n)`.
+    pub fn with_quiesce(
+        schedule: DecaySchedule,
+        message: Option<M>,
+        active_iterations: u32,
+    ) -> Self {
+        let steps = active_iterations as u64 * schedule.steps_per_iteration() as u64;
+        FloodProtocol { schedule, best: message, informed_steps: 0, quiesce_after: steps.max(1) }
     }
 
     /// The highest message this node knows, if any.
     pub fn best(&self) -> Option<&M> {
         self.best.as_ref()
+    }
+
+    fn quiesced(&self) -> bool {
+        self.best.is_some() && self.informed_steps >= self.quiesce_after
     }
 }
 
@@ -44,6 +70,7 @@ impl<M: Clone + Ord> Protocol for FloodProtocol<M> {
     fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<M> {
         match &self.best {
             None => Action::Listen,
+            Some(_) if self.quiesced() => Action::Idle,
             Some(m) => {
                 let t = self.informed_steps;
                 self.informed_steps += 1;
@@ -59,6 +86,22 @@ impl<M: Clone + Ord> Protocol for FloodProtocol<M> {
     fn on_hear(&mut self, _ctx: &mut NodeCtx<'_>, msg: &M) {
         if self.best.as_ref() < Some(msg) {
             self.best = Some(msg.clone());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.quiesced()
+    }
+
+    fn next_wake(&self, _now: u64) -> Wake {
+        if self.best.is_none() {
+            // Uninformed: a pure listener until the frontier arrives. This
+            // is what makes sparse flooding cost O(frontier), not O(n).
+            Wake::listen()
+        } else if self.quiesced() {
+            Wake::Retire
+        } else {
+            Wake::Now
         }
     }
 }
@@ -119,6 +162,28 @@ mod tests {
         let g = generators::path(5);
         let out = run_flood(&g, &[], 200, 8);
         assert!(out.iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn quiescing_flood_completes_and_terminates() {
+        let g = generators::grid2d(8, 8);
+        let info = NetInfo::exact(&g);
+        let schedule = DecaySchedule::new(info.log_n());
+        let mut sim = Sim::new(&g, info, 3);
+        let mut states: Vec<FloodProtocol<u64>> = g
+            .nodes()
+            .map(|v| {
+                FloodProtocol::with_quiesce(
+                    schedule,
+                    (v.index() == 0).then_some(5),
+                    2 * info.log_n(),
+                )
+            })
+            .collect();
+        let rep = sim.run_phase(&mut states, budget(&g) * 4);
+        assert!(rep.completed, "quiescing flood must locally terminate");
+        assert!(states.iter().all(|s| s.best().copied() == Some(5)));
+        assert!(states.iter().all(|s| s.is_done()));
     }
 
     #[test]

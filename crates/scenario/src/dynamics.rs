@@ -34,6 +34,13 @@ pub struct DynamicTopology {
     /// JammerOff): a node with a nonzero count is never retired — the
     /// engine must keep the phase alive until its return is simulated.
     pending_returns: Vec<u32>,
+    /// Batch change feed for the sparse kernel: nodes named by events
+    /// applied since the engine last drained. Over-approximates (an event
+    /// may leave status unchanged), which the feed contract allows.
+    changed: Vec<NodeId>,
+    /// Materialized jam-exposed set (the `true` entries of `jam_exposed`),
+    /// rebuilt alongside it.
+    jam_list: Vec<NodeId>,
 }
 
 fn edge_key(u: usize, v: usize) -> (u32, u32) {
@@ -87,6 +94,8 @@ impl DynamicTopology {
             adj: vec![Vec::new(); n],
             jam_exposed: vec![false; n],
             pending_returns,
+            changed: Vec::new(),
+            jam_list: Vec::new(),
         };
         topo.rebuild(base);
         topo
@@ -118,6 +127,11 @@ impl DynamicTopology {
     }
 
     fn apply(&mut self, kind: EventKind) {
+        if let Some(v) = kind.node() {
+            // Activity / retirement can only change for the named node;
+            // structural events (edges, partitions) touch neither.
+            self.changed.push(NodeId::new(v));
+        }
         if let EventKind::Join(v) | EventKind::Wake(v) | EventKind::JammerOff(v) = kind {
             self.pending_returns[v] = self.pending_returns[v].saturating_sub(1);
         }
@@ -170,9 +184,13 @@ impl DynamicTopology {
                 self.adj[v].push(w);
             }
         }
+        self.jam_list.clear();
         for v in 0..n {
             self.jam_exposed[v] =
                 self.adj[v].iter().any(|w| self.jammer[w.index()] && self.awake[w.index()]);
+            if self.jam_exposed[v] {
+                self.jam_list.push(NodeId::new(v));
+            }
         }
     }
 }
@@ -209,6 +227,18 @@ impl TopologyView for DynamicTopology {
 
     fn is_retired(&self, v: NodeId) -> bool {
         !self.is_active(v) && self.pending_returns[v.index()] == 0
+    }
+
+    fn supports_change_feed(&self) -> bool {
+        true
+    }
+
+    fn drain_status_changes(&mut self, out: &mut Vec<NodeId>) {
+        out.append(&mut self.changed);
+    }
+
+    fn jammed_nodes(&self) -> &[NodeId] {
+        &self.jam_list
     }
 }
 

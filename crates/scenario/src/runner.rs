@@ -13,7 +13,7 @@ use radionet_core::broadcast::run_broadcast;
 use radionet_core::compete::CompeteConfig;
 use radionet_core::leader_election::{run_leader_election, LeaderElectionConfig};
 use radionet_core::mis::{run_radio_mis, MisConfig};
-use radionet_sim::{NetInfo, Sim, SimStats};
+use radionet_sim::{Kernel, NetInfo, Sim, SimStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +105,13 @@ pub struct CellResult {
 
 /// Runs one cell. Pure: identical `spec` ⇒ identical result.
 pub fn run_cell(spec: &CellSpec) -> CellResult {
+    run_cell_kernel(spec, Kernel::default())
+}
+
+/// Runs one cell under an explicit step [`Kernel`]. Both kernels produce
+/// identical results — the scenario-level `kernel_equiv` tests assert this
+/// across the whole catalogue.
+pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
     let sc = &spec.scenario;
     let graph_seed = mix(spec.cell_seed ^ 0x6a);
     let g = sc.family.instantiate(spec.n, graph_seed);
@@ -114,6 +121,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     let topo = DynamicTopology::new(&g, events);
     let sim_seed = mix(spec.cell_seed ^ 0x51);
     let mut sim = Sim::with_topology(&g, topo, info, sim_seed, sc.reception.clone());
+    sim.set_kernel(kernel);
 
     let (success, achieved, clock_done) = match sc.workload {
         Workload::Broadcast => {

@@ -1,0 +1,64 @@
+//! Scenario-level kernel equivalence: every (protocol × scenario) cell of
+//! the catalogue must produce the identical [`CellResult`] under the sparse
+//! and the dense kernel — full `Compete` broadcast, leader election, and
+//! radio MIS, under churn, partitions, jamming, and staggered wake-up.
+//!
+//! This is the end-to-end counterpart of `radionet-sim`'s differential
+//! proptests: it exercises the real protocol stack (MIS → partition → ICP →
+//! propagation rounds, with all the `Wake` hints those implementations
+//! return) over `DynamicTopology`'s batch change feed.
+
+use proptest::prelude::*;
+use radionet_scenario::catalogue::Scenario;
+use radionet_scenario::runner::{run_cell_kernel, CellSpec, SweepConfig};
+use radionet_sim::{Kernel, ReceptionMode};
+
+fn cells(sizes: Vec<usize>, seeds: u64, base_seed: u64) -> Vec<CellSpec> {
+    SweepConfig::catalogue(sizes, seeds, base_seed).cells()
+}
+
+/// The whole catalogue, one small size, both kernels, cell by cell.
+#[test]
+fn catalogue_cells_agree_across_kernels() {
+    for spec in cells(vec![36], 1, 0xbeef) {
+        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
+        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        assert_eq!(sparse, dense, "kernel divergence in cell {:?}", spec.scenario.name);
+    }
+}
+
+/// Collision-detection reception over the dynamic scenarios (the catalogue
+/// presets are all protocol-model; clone them onto CD).
+#[test]
+fn catalogue_cells_agree_under_collision_detection() {
+    let mut specs = cells(vec![36], 1, 0x0cd);
+    for spec in &mut specs {
+        spec.scenario.reception = ReceptionMode::ProtocolCd;
+    }
+    for spec in specs {
+        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
+        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        assert_eq!(sparse, dense, "CD kernel divergence in cell {:?}", spec.scenario.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random seeds × random catalogue entries at a slightly larger size.
+    #[test]
+    fn random_cells_agree(base_seed in 0u64..10_000, idx in 0usize..11, rep in 0u64..3) {
+        let catalogue = Scenario::catalogue();
+        let scenario = catalogue[idx % catalogue.len()].clone();
+        let config = SweepConfig {
+            scenarios: vec![scenario],
+            sizes: vec![48],
+            seeds: rep + 1,
+            base_seed,
+        };
+        let spec = config.cells().into_iter().last().unwrap();
+        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
+        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        prop_assert_eq!(sparse, dense);
+    }
+}

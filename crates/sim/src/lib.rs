@@ -23,6 +23,11 @@
 //! Protocols implement [`Protocol`] and are executed in *phases* by
 //! [`Sim::run_phase`]; per-node RNGs persist across phases so a whole
 //! multi-phase algorithm is a deterministic function of `(graph, seed)`.
+//! Two interchangeable step kernels execute a phase (see [`Kernel`]): the
+//! sparse active-set kernel (default), whose per-step cost tracks actual
+//! radio activity via the [`Wake`] hints protocols return, and the dense
+//! reference kernel, which polls every node every step; both produce
+//! byte-identical results for contract-honoring protocols.
 //! Time multiplexing (used by the paper's `Compete`, Algorithms 1/8/10) is
 //! provided by [`multiplex::RoundRobin2`] and [`multiplex::RoundRobin3`].
 //!
@@ -66,8 +71,8 @@ mod stats;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use engine::{PhaseReport, Sim};
-pub use protocol::{Action, NetInfo, NodeCtx, Protocol};
+pub use engine::{Kernel, PhaseReport, Sim};
+pub use protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
 pub use reception::{ReceptionMode, SinrConfig};
 pub use stats::SimStats;
 pub use topology::{StaticTopology, TopologyView};

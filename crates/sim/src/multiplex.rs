@@ -9,7 +9,7 @@
 //! radio semantics within each sub-schedule are exactly those of an
 //! unmultiplexed run at half (resp. a third) speed.
 
-use crate::protocol::{Action, NodeCtx, Protocol};
+use crate::protocol::{Action, NodeCtx, Protocol, Wake};
 
 /// Message wrapper distinguishing the two multiplexed sub-protocols.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +62,18 @@ impl<A: Protocol, B: Protocol> Protocol for RoundRobin2<A, B> {
 
     fn is_done(&self) -> bool {
         self.a.is_done() && self.b.is_done()
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        // Slot interleaving makes window arithmetic across sub-protocols
+        // subtle; only the time-free all-retired case composes safely.
+        if matches!(self.a.next_wake(now / 2), Wake::Retire)
+            && matches!(self.b.next_wake(now / 2), Wake::Retire)
+        {
+            Wake::Retire
+        } else {
+            Wake::Now
+        }
     }
 }
 
@@ -124,6 +136,17 @@ impl<A: Protocol, B: Protocol, C: Protocol> Protocol for RoundRobin3<A, B, C> {
 
     fn is_done(&self) -> bool {
         self.a.is_done() && self.b.is_done() && self.c.is_done()
+    }
+
+    fn next_wake(&self, now: u64) -> Wake {
+        if matches!(self.a.next_wake(now / 3), Wake::Retire)
+            && matches!(self.b.next_wake(now / 3), Wake::Retire)
+            && matches!(self.c.next_wake(now / 3), Wake::Retire)
+        {
+            Wake::Retire
+        } else {
+            Wake::Now
+        }
     }
 }
 

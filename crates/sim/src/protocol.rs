@@ -4,6 +4,80 @@ use radionet_graph::Graph;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
+/// A scheduling hint: what the engine may assume about a node until it next
+/// engages it. Returned by [`Protocol::next_wake`] and consumed by the
+/// sparse step kernel (see [`Kernel`](crate::Kernel)); the dense reference
+/// kernel ignores hints entirely, which is what makes the two comparable.
+///
+/// All times are **phase-local steps**, the same basis as [`NodeCtx::time`];
+/// [`Wake::NEVER`] (`u64::MAX`) means "not before the phase ends".
+///
+/// # Contract
+///
+/// A hint is a *promise about counterfactual `act` calls*: it must describe
+/// what the node would have done had the engine kept calling `act` every
+/// step, exactly as the dense kernel does. A protocol that breaks a promise
+/// (draws randomness, transmits, or observably changes state inside a
+/// window it declared passive) diverges between the two kernels; the
+/// equivalence proptests exist to catch that. Internal bookkeeping that is
+/// never externally observable (a cached `elapsed`, a self-healing slot
+/// cursor) may go stale inside a window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wake {
+    /// No promise: call `act` again next step. Always correct; the default.
+    Now,
+    /// Passive listener: at every step `t` with `now < t < wake_at`, `act`
+    /// would return [`Action::Listen`] without drawing randomness or
+    /// changing observable state. The engine keeps the node in the listener
+    /// set without calling it, and re-engages it at `wake_at` — or as soon
+    /// as it hears a message or (under collision detection) a collision,
+    /// after which a fresh hint supersedes this one.
+    Listen {
+        /// First step at which `act` must run again ([`Wake::NEVER`] = not
+        /// before the phase ends).
+        wake_at: u64,
+        /// If `Some(d)`: had `act` been called every step, `is_done()`
+        /// would return `true` at the end of step `d` and of every later
+        /// step. Lets the engine account phase completion without waking
+        /// the node.
+        done_at: Option<u64>,
+    },
+    /// Deaf idle: like [`Wake::Listen`], but `act` would return
+    /// [`Action::Idle`] — the node hears nothing in the window and can only
+    /// be re-engaged by `wake_at` or a topology reactivation.
+    Sleep {
+        /// First step at which `act` must run again.
+        wake_at: u64,
+        /// As in [`Wake::Listen`].
+        done_at: Option<u64>,
+    },
+    /// Permanently finished: had `act` been called every step, `is_done()`
+    /// would be `true` from the end of the current step on, and every
+    /// future `act` would return [`Action::Idle`] with no observable
+    /// effects. The engine never engages the node again this phase.
+    Retire,
+}
+
+impl Wake {
+    /// Sentinel wake time: "no wake-up before the phase ends".
+    pub const NEVER: u64 = u64::MAX;
+
+    /// Listen passively with no scheduled wake-up (re-engaged by traffic).
+    pub const fn listen() -> Self {
+        Wake::Listen { wake_at: Wake::NEVER, done_at: None }
+    }
+
+    /// Listen passively until `wake_at` (re-engaged earlier by traffic).
+    pub const fn listen_until(wake_at: u64) -> Self {
+        Wake::Listen { wake_at, done_at: None }
+    }
+
+    /// Sleep (deaf and frozen) until `wake_at`.
+    pub const fn sleep_until(wake_at: u64) -> Self {
+        Wake::Sleep { wake_at, done_at: None }
+    }
+}
+
 /// A node's choice in one time-step.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Action<M> {
@@ -33,15 +107,29 @@ pub struct NetInfo {
 }
 
 impl NetInfo {
+    /// Above this node count, [`NetInfo::exact`] switches from the exact /
+    /// iFUB diameter to the 3-BFS double-sweep bound: exact all-pairs BFS is
+    /// `O(n·m)` and even iFUB can degenerate to many sweeps, which would let
+    /// *setup* dominate million-node runs whose simulation is otherwise
+    /// near-linear. The double sweep is exact on the tree/path/grid families
+    /// and always within a factor 2, which the paper's "estimates within a
+    /// constant factor" model explicitly tolerates.
+    pub const EXACT_DIAMETER_MAX_N: usize = 32_768;
+
     /// Builds exact network information from a graph — the harness's default
     /// (the model allows estimates; exactness is the easiest valid choice).
     ///
-    /// Uses the exact diameter and an α bracket whose exact-search budget
-    /// shrinks with `n` (large graphs fall back to the greedy/clique-cover
-    /// bracket, which the paper's "any polynomial approximation will
-    /// suffice" tolerates).
+    /// Uses the exact diameter up to [`NetInfo::EXACT_DIAMETER_MAX_N`] nodes
+    /// (the 2-sweep BFS bound beyond that) and an α bracket whose
+    /// exact-search budget shrinks with `n` (large graphs fall back to the
+    /// greedy/clique-cover bracket, which the paper's "any polynomial
+    /// approximation will suffice" tolerates).
     pub fn exact(g: &Graph) -> Self {
-        let d = radionet_graph::traversal::diameter(g);
+        let d = if g.n() <= Self::EXACT_DIAMETER_MAX_N {
+            radionet_graph::traversal::diameter(g)
+        } else {
+            radionet_graph::traversal::diameter_double_sweep(g)
+        };
         let budget = match g.n() {
             0..=64 => 500_000,
             65..=128 => 50_000,
@@ -110,6 +198,31 @@ pub struct NodeCtx<'a> {
 /// each listener with exactly one transmitting neighbor. Implementations
 /// must not assume anything about node identity beyond what they draw from
 /// `ctx.rng` (ad-hoc model).
+///
+/// # Scheduling hints and the sparse kernel (migration note)
+///
+/// Under the sparse step kernel (the default, see
+/// [`Kernel`](crate::Kernel)), the engine additionally calls
+/// [`next_wake`](Protocol::next_wake) after every `act` / `on_hear` /
+/// `on_collision`, and **skips** `act` calls inside the window the hint
+/// declares passive. Downstream protocol authors migrating to the new
+/// contract should observe:
+///
+/// * The default `Wake::Now` is always correct — an unmigrated protocol
+///   runs bit-identically, it just never gets skipped.
+/// * A non-`Now` hint is a promise about what `act` *would have* returned
+///   had it been called every step (see [`Wake`]). Inside a declared
+///   window, `act` must not draw from `ctx.rng`, must not transmit, and
+///   must not observably change state — which in practice means time-driven
+///   protocols should derive their position from [`NodeCtx::time`] rather
+///   than from an every-call counter.
+/// * [`is_done`](Protocol::is_done) must be **monotone within a phase**:
+///   once true it stays true. Both kernels rely on this for completion
+///   accounting.
+/// * Hearing a message (or, with collision detection, a collision) always
+///   re-engages a passive listener: `act` resumes the following step and a
+///   fresh hint is taken, so "listen until something happens" is expressed
+///   as [`Wake::listen`].
 pub trait Protocol {
     /// Message type carried over the air.
     type Msg: Clone;
@@ -129,9 +242,20 @@ pub trait Protocol {
     fn on_collision(&mut self, _ctx: &mut NodeCtx<'_>) {}
 
     /// Whether this node's role in the phase is complete. A phase ends when
-    /// every node is done (or the step budget runs out).
+    /// every node is done (or the step budget runs out). Must be monotone
+    /// within a phase: once `true`, it stays `true`.
     fn is_done(&self) -> bool {
         false
+    }
+
+    /// Scheduling hint for the sparse kernel, queried right after this
+    /// node's `act`, `on_hear` or `on_collision` at phase-local step `now`.
+    /// The returned promise covers steps after `now` and is superseded by
+    /// the next engagement. See [`Wake`] for the exact semantics; the
+    /// default makes no promise.
+    fn next_wake(&self, now: u64) -> Wake {
+        let _ = now;
+        Wake::Now
     }
 }
 

@@ -60,6 +60,38 @@ pub trait TopologyView {
     fn is_retired(&self, v: NodeId) -> bool {
         !self.is_active(v)
     }
+
+    /// Whether this view supports the sparse kernel's **batch change feed**
+    /// ([`drain_status_changes`](TopologyView::drain_status_changes) and
+    /// [`jammed_nodes`](TopologyView::jammed_nodes)). Views answering
+    /// `false` force [`Sim::run_phase`](crate::Sim::run_phase) onto the
+    /// dense reference kernel, which polls every node every step — always
+    /// correct, never fast.
+    fn supports_change_feed(&self) -> bool {
+        false
+    }
+
+    /// Drains the set of nodes whose `is_active` / `is_retired` answer may
+    /// have changed since the previous drain, appending them to `out`. The
+    /// engine calls this once per step right after
+    /// [`advance_to`](TopologyView::advance_to) and re-queries the status of
+    /// every reported node, so over-approximating is safe; **omitting a
+    /// changed node is not** — the sparse kernel would keep a stale view of
+    /// it. Only consulted when
+    /// [`supports_change_feed`](TopologyView::supports_change_feed) is true.
+    fn drain_status_changes(&mut self, out: &mut Vec<NodeId>) {
+        let _ = out;
+    }
+
+    /// The exact set of currently jam-exposed nodes (those for which
+    /// [`is_jammed`](TopologyView::is_jammed) returns true). The sparse
+    /// kernel iterates this instead of scanning all listeners to deliver
+    /// the collision-detection "jamming sounds like a collision" signal on
+    /// otherwise silent steps. Only consulted when
+    /// [`supports_change_feed`](TopologyView::supports_change_feed) is true.
+    fn jammed_nodes(&self) -> &[NodeId] {
+        &[]
+    }
 }
 
 /// The paper's model: the base graph itself, always-on, never jammed.
@@ -87,6 +119,12 @@ impl TopologyView for StaticTopology {
     #[inline]
     fn is_jammed(&self, _v: NodeId) -> bool {
         false
+    }
+
+    /// Nothing ever changes, so the (empty) change feed is trivially exact.
+    #[inline]
+    fn supports_change_feed(&self) -> bool {
+        true
     }
 }
 
