@@ -1,0 +1,341 @@
+//! The single execution entry point: [`Driver::run`] turns a [`RunSpec`]
+//! into a [`RunReport`].
+
+use crate::dynamics::DynamicTopology;
+use crate::registry::TaskRegistry;
+use crate::seeds;
+use crate::sink::ResultSink;
+use crate::spec::RunSpec;
+use crate::task::{TaskCtx, TaskOutcome};
+use radionet_sim::{NetInfo, Sim, SimStats};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Why a spec could not be run (or a sweep could not be recorded).
+#[derive(Debug)]
+pub enum RunError {
+    /// The spec failed structural or task-specific validation.
+    InvalidSpec(String),
+    /// The task key is not in the registry.
+    UnknownTask(String),
+    /// A [`ResultSink`] failed to record a report.
+    Sink(std::io::Error),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
+            RunError::UnknownTask(key) => {
+                write!(f, "unknown task {key:?} (try `radionet list-tasks`)")
+            }
+            RunError::Sink(e) => write!(f, "result sink failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Sink(e)
+    }
+}
+
+/// The unified result of one run: the spec echoed back, the instantiated
+/// network's parameters, the task's [`TaskOutcome`], and the engine's
+/// counters — everything a sweep row or a regression fingerprint needs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The spec that produced this report.
+    pub spec: RunSpec,
+    /// Actual node count (families may round the requested size).
+    pub n: usize,
+    /// Diameter of the instantiated base graph.
+    pub d: u32,
+    /// α estimate of the base graph.
+    pub alpha: f64,
+    /// Events in the materialized dynamics script.
+    pub events: usize,
+    /// The task's own summary.
+    pub outcome: TaskOutcome,
+    /// Whether the task's success criterion held.
+    pub success: bool,
+    /// Task-specific achievement in `[0, 1]`.
+    pub achieved: f64,
+    /// Clock when the success criterion was first met, if ever.
+    pub clock_done: Option<u64>,
+    /// Total clock at exit (simulated + charged).
+    pub clock_total: u64,
+    /// Engine counters.
+    pub stats: SimStats,
+    /// Digest of all per-node RNG states at exit: two runs consumed
+    /// identical randomness iff their fingerprints match.
+    pub rng_fingerprint: u64,
+}
+
+/// Executes [`RunSpec`]s against a [`TaskRegistry`].
+///
+/// The driver owns the whole cell pipeline — family instantiation,
+/// [`NetInfo`] measurement, dynamics materialization, simulator and kernel
+/// setup — and delegates only the algorithm itself to the task, so every
+/// algorithm in the workspace runs under the exact same harness:
+///
+/// ```
+/// use radionet_api::{Driver, Dynamics, RunSpec};
+/// use radionet_graph::families::Family;
+///
+/// let driver = Driver::standard();
+/// let spec = RunSpec::new("mis", Family::UnitDisk, 64)
+///     .with_dynamics(Dynamics::preset("churn").unwrap())
+///     .with_seed(3);
+/// let report = driver.run(&spec).unwrap();
+/// assert_eq!(report.spec, spec);
+/// assert!(report.clock_total > 0);
+/// ```
+#[derive(Default)]
+pub struct Driver {
+    registry: TaskRegistry,
+}
+
+impl Driver {
+    /// A driver over [`TaskRegistry::standard`].
+    pub fn standard() -> Self {
+        Driver { registry: TaskRegistry::standard() }
+    }
+
+    /// A driver over a custom registry.
+    pub fn with_registry(registry: TaskRegistry) -> Self {
+        Driver { registry }
+    }
+
+    /// The registry this driver resolves task keys against.
+    pub fn registry(&self) -> &TaskRegistry {
+        &self.registry
+    }
+
+    /// Runs one spec to completion.
+    ///
+    /// Pure: identical specs yield bit-identical reports (the scenario
+    /// equivalence suite pins this against the pre-façade runner for the
+    /// whole catalogue, under both kernels).
+    pub fn run(&self, spec: &RunSpec) -> Result<RunReport, RunError> {
+        spec.validate().map_err(RunError::InvalidSpec)?;
+        let task = self
+            .registry
+            .get(&spec.task)
+            .ok_or_else(|| RunError::UnknownTask(spec.task.clone()))?;
+        task.check_spec(spec).map_err(RunError::InvalidSpec)?;
+
+        let g = spec.family.instantiate(spec.n, seeds::graph_seed(spec.seed));
+        // SINR needs exactly one position per node of the *instantiated*
+        // graph (families may round the requested n), so the count can
+        // only be checked here — the engine asserts on a mismatch.
+        if let radionet_sim::ReceptionMode::Sinr(cfg) = &spec.reception {
+            if cfg.positions.len() != g.n() {
+                return Err(RunError::InvalidSpec(format!(
+                    "SINR reception carries {} positions but {} instantiates {} nodes \
+                     (requested n = {})",
+                    cfg.positions.len(),
+                    spec.family.name(),
+                    g.n(),
+                    spec.n
+                )));
+            }
+        }
+        let info = NetInfo::exact(&g);
+        let events =
+            spec.dynamics.events_for(&g, task.timebase(&info), seeds::events_seed(spec.seed));
+        let n_events = events.len();
+        let topo = DynamicTopology::new(&g, events);
+        let mut sim =
+            Sim::with_topology(&g, topo, info, seeds::sim_seed(spec.seed), spec.reception.clone());
+        sim.set_kernel(spec.kernel);
+
+        let ctx = TaskCtx {
+            seed: spec.seed,
+            lottery_seed: seeds::lottery_seed(spec.seed),
+            step_cap: spec.steps,
+        };
+        let outcome = task.run(&mut sim, &ctx);
+
+        Ok(RunReport {
+            spec: spec.clone(),
+            n: g.n(),
+            d: info.d,
+            alpha: info.alpha,
+            events: n_events,
+            success: outcome.success(),
+            achieved: outcome.achieved(),
+            clock_done: outcome.clock_done(),
+            outcome,
+            clock_total: sim.clock(),
+            stats: *sim.stats(),
+            rng_fingerprint: sim.rng_fingerprint(),
+        })
+    }
+
+    /// Runs specs in order on the current thread, streaming each report to
+    /// `sink` as it completes. Returns the number of reports emitted.
+    ///
+    /// Memory stays O(1) in the sweep length: nothing is buffered beyond
+    /// the report in flight. On error the sink is still finished, so
+    /// partial output stays well-formed (the original error is returned).
+    pub fn run_sweep(
+        &self,
+        specs: &[RunSpec],
+        sink: &mut dyn ResultSink,
+    ) -> Result<usize, RunError> {
+        self.run_sweep_streaming(specs.iter().cloned(), 1, sink)
+    }
+
+    /// Runs specs on all cores (rayon), streaming reports to `sink` in
+    /// spec order. Because every run is a pure function of its spec, the
+    /// emitted stream is byte-identical to [`Driver::run_sweep`].
+    ///
+    /// Cells are processed in bounded chunks (`chunk` specs at a time,
+    /// minimum 1), so memory stays O(chunk) however large the sweep is.
+    pub fn run_sweep_parallel(
+        &self,
+        specs: &[RunSpec],
+        chunk: usize,
+        sink: &mut dyn ResultSink,
+    ) -> Result<usize, RunError> {
+        self.run_sweep_streaming(specs.iter().cloned(), chunk, sink)
+    }
+
+    /// Like [`Driver::run_sweep_parallel`], but pulls specs lazily from an
+    /// iterator: at no point do more than `chunk` specs (or reports) exist
+    /// at once, so a sweep generator can be arbitrarily large — this is
+    /// the entry point the `radionet sweep` CLI streams through.
+    ///
+    /// The sink is finished on **every** exit path: even when a spec fails
+    /// mid-sweep, already-emitted output gets its trailer/flush so partial
+    /// files stay well-formed (the original error is still returned).
+    pub fn run_sweep_streaming<I>(
+        &self,
+        specs: I,
+        chunk: usize,
+        sink: &mut dyn ResultSink,
+    ) -> Result<usize, RunError>
+    where
+        I: IntoIterator<Item = RunSpec>,
+    {
+        let chunk = chunk.max(1);
+        let mut specs = specs.into_iter();
+        let mut total = 0usize;
+        let outcome = 'sweep: {
+            loop {
+                let block: Vec<RunSpec> = specs.by_ref().take(chunk).collect();
+                if block.is_empty() {
+                    break 'sweep Ok(());
+                }
+                let reports: Vec<Result<RunReport, RunError>> =
+                    block.par_iter().map(|spec| self.run(spec)).collect();
+                total += block.len();
+                for report in reports {
+                    let report = match report {
+                        Ok(report) => report,
+                        Err(e) => break 'sweep Err(e),
+                    };
+                    if let Err(e) = sink.emit(&report) {
+                        break 'sweep Err(e.into());
+                    }
+                }
+            }
+        };
+        match outcome {
+            Ok(()) => {
+                sink.finish()?;
+                Ok(total)
+            }
+            Err(e) => {
+                // Terminate the stream, but report the sweep's own error.
+                let _ = sink.finish();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use radionet_graph::families::Family;
+    use radionet_sim::ReceptionMode;
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let err = Driver::standard().run(&RunSpec::new("nope", Family::Grid, 16)).unwrap_err();
+        assert!(matches!(err, RunError::UnknownTask(_)), "{err}");
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn cd_wakeup_requires_cd_reception() {
+        let driver = Driver::standard();
+        let spec = RunSpec::new("cd-wakeup", Family::Path, 16);
+        let err = driver.run(&spec).unwrap_err();
+        assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
+        let report =
+            driver.run(&spec.with_reception(ReceptionMode::ProtocolCd)).expect("CD spec runs");
+        assert!(report.success);
+        assert_eq!(report.clock_done, Some(15), "path wake-up takes exactly D steps");
+    }
+
+    #[test]
+    fn sinr_position_mismatch_is_a_clean_error() {
+        use radionet_sim::SinrConfig;
+        // Grid rounds 40 → 36 nodes, so 40 positions must be rejected
+        // before the engine's exact-equality assert can fire.
+        let spec = RunSpec::new("broadcast", Family::Grid, 40).with_reception(ReceptionMode::Sinr(
+            SinrConfig::for_unit_range(vec![(0.0, 0.0); 40], 1.0),
+        ));
+        let err = Driver::standard().run(&spec).unwrap_err();
+        assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
+        assert!(err.to_string().contains("36 nodes"), "{err}");
+    }
+
+    #[test]
+    fn identical_specs_identical_reports() {
+        let driver = Driver::standard();
+        let spec = RunSpec::new("broadcast", Family::Grid, 25).with_seed(11);
+        let a = driver.run(&spec).unwrap();
+        let b = driver.run(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rng_fingerprint, b.rng_fingerprint);
+    }
+
+    #[test]
+    fn failed_sweep_still_terminates_the_sink() {
+        // A mid-sweep failure must not leave a JSON-array stream without
+        // its trailer: partial output stays parseable.
+        let driver = Driver::standard();
+        let specs = vec![
+            RunSpec::new("luby-mis", Family::Path, 8),
+            RunSpec::new("no-such-task", Family::Path, 8),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut sink = crate::sink::JsonArraySink::new(&mut buf);
+            let err = driver.run_sweep(&specs, &mut sink).unwrap_err();
+            assert!(matches!(err, RunError::UnknownTask(_)), "{err}");
+        }
+        let parsed: Vec<RunReport> =
+            serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 1, "the report emitted before the failure survives");
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let driver = Driver::standard();
+        let specs: Vec<RunSpec> =
+            (0..6).map(|seed| RunSpec::new("mis", Family::Grid, 16).with_seed(seed)).collect();
+        let mut seq = MemorySink::default();
+        let mut par = MemorySink::default();
+        assert_eq!(driver.run_sweep(&specs, &mut seq).unwrap(), 6);
+        assert_eq!(driver.run_sweep_parallel(&specs, 2, &mut par).unwrap(), 6);
+        assert_eq!(seq.reports, par.reports);
+    }
+}

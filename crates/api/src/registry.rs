@@ -1,0 +1,130 @@
+//! The string-keyed task registry.
+
+use crate::task::Task;
+use crate::tasks;
+use std::collections::BTreeMap;
+
+/// Maps stable string keys to boxed [`Task`]s.
+///
+/// The registry is the single catalogue of runnable algorithms: the
+/// [`Driver`](crate::Driver) resolves [`RunSpec::task`](crate::RunSpec)
+/// against it, and `radionet list-tasks` prints it. Keys iterate in sorted
+/// order, so listings are deterministic.
+///
+/// ```
+/// use radionet_api::TaskRegistry;
+///
+/// let registry = TaskRegistry::standard();
+/// assert!(registry.get("broadcast").is_some());
+/// assert!(registry.get("warp-drive").is_none());
+/// let keys: Vec<&str> = registry.keys().collect();
+/// assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted and duplicate-free");
+/// ```
+#[derive(Default)]
+pub struct TaskRegistry {
+    tasks: BTreeMap<&'static str, Box<dyn Task>>,
+}
+
+impl TaskRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard registry: every algorithm in the workspace.
+    pub fn standard() -> Self {
+        let mut r = TaskRegistry::new();
+        r.register(Box::new(tasks::BroadcastTask));
+        r.register(Box::new(tasks::LeaderElectionTask));
+        r.register(Box::new(tasks::MisTask));
+        r.register(Box::new(tasks::PartitionTask));
+        r.register(Box::new(tasks::BgiBroadcastTask));
+        r.register(Box::new(tasks::CrBroadcastTask));
+        r.register(Box::new(tasks::NaiveLeaderElectionTask));
+        r.register(Box::new(tasks::CdWakeupTask));
+        r.register(Box::new(tasks::LubyMisTask));
+        r.register(Box::new(tasks::GhaffariMisTask));
+        r
+    }
+
+    /// Registers a task under its own key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already taken — duplicate keys are always a
+    /// wiring bug, and silently replacing an algorithm would corrupt every
+    /// downstream result.
+    pub fn register(&mut self, task: Box<dyn Task>) {
+        let key = task.key();
+        let prev = self.tasks.insert(key, task);
+        assert!(prev.is_none(), "duplicate task key {key:?}");
+    }
+
+    /// Looks a task up by key.
+    pub fn get(&self, key: &str) -> Option<&dyn Task> {
+        self.tasks.get(key).map(|t| t.as_ref())
+    }
+
+    /// All keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.tasks.keys().copied()
+    }
+
+    /// All tasks, sorted by key.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Task> + '_ {
+        self.tasks.values().map(|t| t.as_ref())
+    }
+
+    /// Number of registered tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_every_run_entry_point() {
+        let r = TaskRegistry::standard();
+        // One key per legacy `run_*` family (run_compete is reachable as
+        // single-source broadcast; run_bgi_multi backs naive-leader-election).
+        for key in [
+            "broadcast",
+            "leader-election",
+            "mis",
+            "partition",
+            "bgi-broadcast",
+            "cr-broadcast",
+            "naive-leader-election",
+            "cd-wakeup",
+            "luby-mis",
+            "ghaffari-mis",
+        ] {
+            assert!(r.get(key).is_some(), "missing task {key}");
+        }
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn keys_match_tasks_and_have_descriptions() {
+        let r = TaskRegistry::standard();
+        for task in r.iter() {
+            assert_eq!(r.get(task.key()).unwrap().key(), task.key());
+            assert!(!task.describe().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task key")]
+    fn duplicate_registration_panics() {
+        let mut r = TaskRegistry::standard();
+        r.register(Box::new(crate::tasks::BroadcastTask));
+    }
+}

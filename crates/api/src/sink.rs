@@ -1,0 +1,163 @@
+//! Streaming result sinks: huge sweeps write as they go, never buffering
+//! the whole result set.
+
+use crate::driver::RunReport;
+use std::io::{self, Write};
+
+/// A destination for [`RunReport`]s, fed one report at a time.
+///
+/// Sweep drivers call [`emit`](ResultSink::emit) per completed cell and
+/// [`finish`](ResultSink::finish) once at the end, so sinks can stream to
+/// disk or a socket with O(1) memory however large the sweep is.
+pub trait ResultSink {
+    /// Records one report.
+    fn emit(&mut self, report: &RunReport) -> io::Result<()>;
+
+    /// Flushes and closes the stream (writes trailers, if any).
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn encode<T: serde::Serialize>(value: &T, pretty: bool) -> io::Result<String> {
+    let encoded =
+        if pretty { serde_json::to_string_pretty(value) } else { serde_json::to_string(value) };
+    encoded.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// JSON Lines: one compact JSON object per line, written immediately.
+///
+/// The format of choice for million-cell sweeps — each line is a complete
+/// record, so partial files are usable and downstream tools can stream.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn emit(&mut self, report: &RunReport) -> io::Result<()> {
+        let line = encode(report, false)?;
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// A streaming JSON array: `[` … pretty-printed reports … `]`, valid JSON
+/// once finished, still O(1) memory while streaming.
+pub struct JsonArraySink<W: Write> {
+    w: W,
+    count: usize,
+    finished: bool,
+}
+
+impl<W: Write> JsonArraySink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonArraySink { w, count: 0, finished: false }
+    }
+
+    /// Reports emitted so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl<W: Write> ResultSink for JsonArraySink<W> {
+    fn emit(&mut self, report: &RunReport) -> io::Result<()> {
+        let prefix = if self.count == 0 { "[\n" } else { ",\n" };
+        self.w.write_all(prefix.as_bytes())?;
+        self.w.write_all(encode(report, true)?.as_bytes())?;
+        self.count += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if !self.finished {
+            self.finished = true;
+            let trailer: &[u8] = if self.count == 0 { b"[]\n" } else { b"\n]\n" };
+            self.w.write_all(trailer)?;
+        }
+        self.w.flush()
+    }
+}
+
+/// Collects reports in memory (tests and small interactive runs).
+#[derive(Default)]
+pub struct MemorySink {
+    /// Everything emitted so far, in emit order.
+    pub reports: Vec<RunReport>,
+}
+
+impl ResultSink for MemorySink {
+    fn emit(&mut self, report: &RunReport) -> io::Result<()> {
+        self.reports.push(report.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::spec::RunSpec;
+    use radionet_graph::families::Family;
+
+    fn report() -> RunReport {
+        Driver::standard().run(&RunSpec::new("luby-mis", Family::Path, 8)).unwrap()
+    }
+
+    #[test]
+    fn jsonl_one_line_per_report() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let r = report();
+        sink.emit(&r).unwrap();
+        sink.emit(&r).unwrap();
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back: RunReport = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_array_is_valid_json() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonArraySink::new(&mut buf);
+            let r = report();
+            sink.emit(&r).unwrap();
+            sink.emit(&r).unwrap();
+            sink.finish().unwrap();
+            assert_eq!(sink.count(), 2);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let back: Vec<RunReport> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn empty_array_still_valid() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonArraySink::new(&mut buf);
+            sink.finish().unwrap();
+        }
+        let back: Vec<RunReport> = serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! The unified run description: one serde-able [`RunSpec`] names everything
+//! a cell needs — graph family and size, reception rule, step kernel,
+//! dynamics recipe, task key, optional step cap, and the seed all
+//! randomness derives from.
+
+use crate::events::{EventKind, ScenarioEvent};
+use crate::seeds::mix;
+use radionet_graph::families::Family;
+use radionet_graph::Graph;
+use radionet_sim::{Kernel, ReceptionMode};
+use serde::{Deserialize, Serialize};
+
+/// Staggered (asynchronous) wake-up: every node except 0 wakes at a
+/// deterministic pseudo-random time in `[0, spread × timebase]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StaggerSpec {
+    /// Wake-time spread as a fraction of the task timebase.
+    pub spread: f64,
+}
+
+/// Node churn: a fraction of nodes crash at staggered times and rejoin
+/// `down` later.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Fraction of nodes (excluding node 0) that crash.
+    pub victims: f64,
+    /// First crash, as a fraction of the timebase.
+    pub start: f64,
+    /// Crash times spread over this additional fraction.
+    pub spread: f64,
+    /// Downtime per victim, as a fraction of the timebase.
+    pub down: f64,
+}
+
+/// A k-way partition (contiguous index blocks) later healed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Number of parts.
+    pub parts: u32,
+    /// Split time as a fraction of the timebase.
+    pub at: f64,
+    /// Repair time as a fraction of the timebase.
+    pub heal_at: f64,
+}
+
+/// Adversarial jammers: a fraction of nodes defect and emit noise during a
+/// window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JamSpec {
+    /// Fraction of nodes (excluding node 0) that become jammers.
+    pub jammers: f64,
+    /// Jamming starts, as a fraction of the timebase.
+    pub from: f64,
+    /// Jamming ends, as a fraction of the timebase.
+    pub until: f64,
+}
+
+/// A dynamics recipe: how the topology evolves during the run.
+///
+/// Event times are expressed as *fractions of the task's timebase* (the
+/// step budget the paper's bounds are stated in, see
+/// [`Task::timebase`](crate::Task::timebase)), so one recipe scales across
+/// sizes and families: `0.0` is the start of the run and `1.0` is roughly
+/// where the task's own budget would expire.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Dynamics {
+    /// The paper's model: nothing changes.
+    Static,
+    /// Staggered wake-up.
+    StaggeredWake(StaggerSpec),
+    /// Crash/rejoin churn.
+    Churn(ChurnSpec),
+    /// Partition then repair.
+    PartitionRepair(PartitionSpec),
+    /// Jamming window.
+    Jamming(JamSpec),
+}
+
+impl Dynamics {
+    /// Short stable name for tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dynamics::Static => "static",
+            Dynamics::StaggeredWake(_) => "staggered-wake",
+            Dynamics::Churn(_) => "churn",
+            Dynamics::PartitionRepair(_) => "partition-repair",
+            Dynamics::Jamming(_) => "jamming",
+        }
+    }
+
+    /// The standard presets (the parameter choices the scenario catalogue
+    /// has always swept), by dynamics name. `None` for unknown names.
+    pub fn preset(name: &str) -> Option<Dynamics> {
+        match name {
+            "static" => Some(Dynamics::Static),
+            "churn" => Some(Dynamics::Churn(ChurnSpec {
+                victims: 0.1,
+                start: 0.05,
+                spread: 0.15,
+                down: 0.2,
+            })),
+            "partition" | "partition-repair" => {
+                Some(Dynamics::PartitionRepair(PartitionSpec { parts: 2, at: 0.05, heal_at: 0.35 }))
+            }
+            "jamming" => Some(Dynamics::Jamming(JamSpec { jammers: 0.05, from: 0.05, until: 0.4 })),
+            "staggered" | "staggered-wake" => {
+                Some(Dynamics::StaggeredWake(StaggerSpec { spread: 0.1 }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Every preset name accepted by [`Dynamics::preset`], in display order.
+    pub const PRESETS: [&'static str; 5] =
+        ["static", "churn", "partition-repair", "jamming", "staggered-wake"];
+
+    /// Materializes the event script for one cell.
+    ///
+    /// Deterministic in `(graph, timebase, seed)`; fractions in the recipe
+    /// are scaled by `timebase` steps.
+    pub fn events_for(&self, g: &Graph, timebase: u64, seed: u64) -> Vec<ScenarioEvent> {
+        let h = timebase as f64;
+        let at = |frac: f64| (frac * h).round().max(0.0) as u64;
+        let n = g.n();
+        match *self {
+            Dynamics::Static => Vec::new(),
+            Dynamics::StaggeredWake(s) => (1..n)
+                .map(|v| {
+                    let t = mix(seed ^ 0x5a5a ^ v as u64) as f64 / u64::MAX as f64;
+                    ScenarioEvent::new(at(t * s.spread), EventKind::Wake(v))
+                })
+                .collect(),
+            Dynamics::Churn(c) => {
+                let count = ((n as f64 * c.victims).round() as usize).max(1);
+                let victims = pick_victims(n, count, seed ^ 0xc4u64);
+                let mut script = Vec::with_capacity(2 * victims.len());
+                for (i, &v) in victims.iter().enumerate() {
+                    let frac =
+                        if victims.len() > 1 { i as f64 / (victims.len() - 1) as f64 } else { 0.0 };
+                    let crash = at(c.start + frac * c.spread);
+                    script.push(ScenarioEvent::new(crash, EventKind::Crash(v)));
+                    script.push(ScenarioEvent::new(crash + at(c.down).max(1), EventKind::Join(v)));
+                }
+                script
+            }
+            Dynamics::PartitionRepair(p) => vec![
+                ScenarioEvent::new(at(p.at), EventKind::Partition(p.parts)),
+                ScenarioEvent::new(at(p.heal_at), EventKind::Heal),
+            ],
+            Dynamics::Jamming(j) => {
+                let count = ((n as f64 * j.jammers).round() as usize).max(1);
+                let victims = pick_victims(n, count, seed ^ 0x7a_7au64);
+                let mut script = Vec::with_capacity(2 * victims.len());
+                for &v in &victims {
+                    script.push(ScenarioEvent::new(at(j.from), EventKind::JammerOn(v)));
+                    script.push(ScenarioEvent::new(at(j.until), EventKind::JammerOff(v)));
+                }
+                script
+            }
+        }
+    }
+}
+
+/// Picks `count` distinct victims from `1..n` (node 0 — the instrumented
+/// source — is never picked), deterministically from `seed`.
+fn pick_victims(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    assert!(n >= 2, "victim selection needs n >= 2");
+    let count = count.min(n - 1);
+    let mut picked = Vec::with_capacity(count);
+    let mut i = 0u64;
+    while picked.len() < count {
+        let v = 1 + (mix(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (n as u64 - 1)) as usize;
+        if !picked.contains(&v) {
+            picked.push(v);
+        }
+        i += 1;
+    }
+    picked
+}
+
+/// One fully specified run: the single typed entry point of the workspace.
+///
+/// A `RunSpec` is a pure description — the graph, the event script, the
+/// simulator RNGs, and every node-private lottery all derive from `seed`
+/// (see [`seeds`](crate::seeds)) — so identical specs produce bit-identical
+/// [`RunReport`](crate::RunReport)s on any machine, any thread count, and
+/// either step kernel.
+///
+/// ```
+/// use radionet_api::{Driver, RunSpec};
+/// use radionet_graph::families::Family;
+///
+/// let spec = RunSpec::new("broadcast", Family::Grid, 36).with_seed(7);
+/// let report = Driver::standard().run(&spec).unwrap();
+/// assert!(report.success, "static grid broadcast completes");
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Registry key of the task to run (see
+    /// [`TaskRegistry::standard`](crate::TaskRegistry::standard)).
+    pub task: String,
+    /// The base graph family (geometry is the family's own parametrization).
+    pub family: Family,
+    /// Requested node count (families may round, e.g. to a square grid).
+    pub n: usize,
+    /// The reception rule.
+    pub reception: ReceptionMode,
+    /// The step kernel executing the run.
+    pub kernel: Kernel,
+    /// The dynamics recipe.
+    pub dynamics: Dynamics,
+    /// Optional cap on the task's own step budget. Honored by the tasks
+    /// with an explicit budget knob (`cd-wakeup` steps, `luby-mis` /
+    /// `ghaffari-mis` rounds); the `Compete`-based tasks, radio MIS, and
+    /// the Decay floods derive their budgets from [`NetInfo`] exactly as
+    /// the paper's bounds prescribe and document the cap as ignored.
+    ///
+    /// [`NetInfo`]: radionet_sim::NetInfo
+    pub steps: Option<u64>,
+    /// The cell seed every random choice derives from.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A spec with the workspace defaults: protocol-model reception, the
+    /// sparse kernel, static topology, no step cap, seed 0.
+    pub fn new(task: impl Into<String>, family: Family, n: usize) -> Self {
+        RunSpec {
+            task: task.into(),
+            family,
+            n,
+            reception: ReceptionMode::Protocol,
+            kernel: Kernel::default(),
+            dynamics: Dynamics::Static,
+            steps: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the cell seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the dynamics recipe.
+    pub fn with_dynamics(mut self, dynamics: Dynamics) -> Self {
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Sets the reception rule.
+    pub fn with_reception(mut self, reception: ReceptionMode) -> Self {
+        self.reception = reception;
+        self
+    }
+
+    /// Sets the step kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Structural validation that needs no registry: the family size
+    /// floor. [`Driver::run`](crate::Driver::run) calls this before
+    /// instantiating anything, and separately checks the SINR position
+    /// count against the **instantiated** graph (families may round `n`,
+    /// so the exact count is unknowable here).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 4 {
+            return Err(format!("n = {} but graph families need n >= 4", self.n));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_sim::NetInfo;
+
+    #[test]
+    fn presets_cover_all_dynamics_names() {
+        for name in Dynamics::PRESETS {
+            let d = Dynamics::preset(name).expect(name);
+            assert_eq!(d.name(), name);
+        }
+        assert!(Dynamics::preset("nope").is_none());
+        // Short CLI aliases resolve too.
+        assert_eq!(Dynamics::preset("partition").unwrap().name(), "partition-repair");
+        assert_eq!(Dynamics::preset("staggered").unwrap().name(), "staggered-wake");
+    }
+
+    #[test]
+    fn events_deterministic_and_protect_node_zero() {
+        let g = Family::Grid.instantiate(49, 1);
+        let info = NetInfo::exact(&g);
+        let timebase = 100 * info.d as u64;
+        for name in Dynamics::PRESETS {
+            let d = Dynamics::preset(name).unwrap();
+            let a = d.events_for(&g, timebase, 42);
+            let b = d.events_for(&g, timebase, 42);
+            assert_eq!(a, b, "{name} not deterministic");
+            for e in &a {
+                if let Some(v) = e.kind.node() {
+                    assert!(v > 0, "{name}: node 0 must stay protected");
+                    assert!(v < g.n());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn victims_distinct_and_exclude_source() {
+        let v = pick_victims(50, 10, 9);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(v.iter().all(|&x| (1..50).contains(&x)));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert!(RunSpec::new("broadcast", Family::Grid, 3).validate().is_err());
+        assert!(RunSpec::new("broadcast", Family::Grid, 36).validate().is_ok());
+    }
+}

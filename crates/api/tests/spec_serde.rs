@@ -1,0 +1,114 @@
+//! Golden serde round-trips for [`RunSpec`]: at least one spec per task,
+//! per reception mode, and per dynamics variant, frozen as a pretty-JSON
+//! fixture.
+//!
+//! The fixture is the compatibility contract of the façade — CLI spec
+//! files, recorded sweeps, and cross-version tooling all speak this exact
+//! encoding. Regenerate deliberately with
+//! `RADIONET_REGEN_FIXTURES=1 cargo test -p radionet-api --test spec_serde`
+//! and review the diff.
+
+use radionet_api::{Driver, Dynamics, RunSpec, TaskRegistry};
+use radionet_graph::families::Family;
+use radionet_sim::{Kernel, ReceptionMode, SinrConfig};
+
+const FIXTURE: &str = include_str!("fixtures/specs.json");
+const FIXTURE_PATH: &str = "tests/fixtures/specs.json";
+
+/// The golden corpus: every registry task once, every reception mode at
+/// least once, every dynamics variant at least once, both kernels, and a
+/// step-capped spec.
+fn corpus() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+
+    // One spec per task, cycling the dynamics presets so each variant
+    // appears; cd-wakeup carries its required CD reception.
+    let registry = TaskRegistry::standard();
+    for (i, key) in registry.keys().enumerate() {
+        let dynamics = Dynamics::preset(Dynamics::PRESETS[i % Dynamics::PRESETS.len()]).unwrap();
+        let mut spec =
+            RunSpec::new(key, Family::Grid, 36).with_seed(1000 + i as u64).with_dynamics(dynamics);
+        if key == "cd-wakeup" {
+            spec = spec.with_reception(ReceptionMode::ProtocolCd);
+        }
+        specs.push(spec);
+    }
+
+    // Each reception mode, including a fully populated SINR config.
+    specs.push(RunSpec::new("broadcast", Family::UnitDisk, 4).with_seed(7).with_reception(
+        ReceptionMode::Sinr(SinrConfig::for_unit_range(
+            vec![(0.0, 0.0), (1.0, 0.0), (0.5, 0.5), (0.25, 0.75)],
+            1.0,
+        )),
+    ));
+    specs.push(
+        RunSpec::new("bgi-broadcast", Family::Cycle, 24)
+            .with_seed(8)
+            .with_reception(ReceptionMode::ProtocolCd),
+    );
+
+    // Dense kernel and an explicit step cap.
+    specs.push(RunSpec::new("mis", Family::Hypercube, 64).with_seed(9).with_kernel(Kernel::Dense));
+    let mut capped = RunSpec::new("luby-mis", Family::Star, 32).with_seed(10);
+    capped.steps = Some(12);
+    specs.push(capped);
+
+    specs
+}
+
+#[test]
+fn corpus_covers_every_axis() {
+    let specs = corpus();
+    let registry = TaskRegistry::standard();
+    for key in registry.keys() {
+        assert!(specs.iter().any(|s| s.task == key), "no golden spec for task {key}");
+    }
+    for name in Dynamics::PRESETS {
+        assert!(
+            specs.iter().any(|s| s.dynamics.name() == name),
+            "no golden spec for dynamics {name}"
+        );
+    }
+    for mode in ["protocol", "protocol+cd", "sinr"] {
+        assert!(
+            specs.iter().any(|s| s.reception.name() == mode),
+            "no golden spec for reception {mode}"
+        );
+    }
+    assert!(specs.iter().any(|s| s.kernel == Kernel::Dense));
+    assert!(specs.iter().any(|s| s.steps.is_some()));
+}
+
+#[test]
+fn golden_fixture_is_byte_stable() {
+    let specs = corpus();
+    let rendered = serde_json::to_string_pretty(&specs).unwrap() + "\n";
+    if std::env::var_os("RADIONET_REGEN_FIXTURES").is_some() {
+        std::fs::write(FIXTURE_PATH, &rendered).unwrap();
+        return;
+    }
+    assert_eq!(
+        rendered, FIXTURE,
+        "RunSpec encoding drifted from the golden fixture; if intentional, \
+         regenerate with RADIONET_REGEN_FIXTURES=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips() {
+    let from_fixture: Vec<RunSpec> = serde_json::from_str(FIXTURE).unwrap();
+    assert_eq!(from_fixture, corpus(), "fixture no longer decodes to the corpus");
+    // And a full re-encode → decode cycle is lossless.
+    let json = serde_json::to_string(&from_fixture).unwrap();
+    let back: Vec<RunSpec> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, from_fixture);
+}
+
+#[test]
+fn golden_specs_validate_and_resolve() {
+    let driver = Driver::standard();
+    for spec in corpus() {
+        spec.validate().unwrap_or_else(|e| panic!("golden spec {} invalid: {e}", spec.task));
+        assert!(driver.registry().get(&spec.task).is_some(), "unknown golden task {}", spec.task);
+    }
+}

@@ -15,7 +15,7 @@
 //!
 //! The most important comparator — the original \[CD21\] `Compete` with
 //! all-node centers and `log_D n` propagation lengths — lives in
-//! `radionet_core::compete` as [`radionet_core::CompeteConfig::cd21`], since
+//! `radionet_core::compete` as `CompeteConfig::cd21`, since
 //! it shares the whole engine.
 
 #![forbid(unsafe_code)]

@@ -1,14 +1,5 @@
-//! Experiment E8 binary — see DESIGN.md §4.
+//! Experiment E8 binary — a thin shim over the shared experiment
+//! registry (`radionet_bench::experiments::ALL`).
 fn main() {
-    let scale = radionet_bench::Scale::from_env();
-    let record = radionet_bench::experiments::e8_broadcast(scale);
-    save(&record);
-}
-
-fn save(record: &radionet_analysis::ExperimentRecord) {
-    let dir = std::path::Path::new("results");
-    match record.save(dir) {
-        Ok(path) => eprintln!("record written to {}", path.display()),
-        Err(e) => eprintln!("could not write record: {e}"),
-    }
+    radionet_bench::exp_main("E8");
 }

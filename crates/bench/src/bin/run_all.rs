@@ -1,4 +1,7 @@
-//! Regenerates every experiment table and JSON record (DESIGN.md §4).
+//! Regenerates every experiment table and JSON record (DESIGN.md §4),
+//! driven by the shared experiment registry
+//! (`radionet_bench::experiments::ALL`) so a registered experiment can
+//! never be missing from the aggregate run.
 //!
 //! Scale via `RADIONET_SCALE=quick|full` (default full). Records land in
 //! `results/`.

@@ -16,9 +16,11 @@
 //! | E12 | S2 constant calibration | [`e12_calibration`] |
 //! | E14 | dynamic-network scenarios | [`e14_scenarios`] |
 //! | E15 | sparse step-kernel throughput | [`e15_throughput`] |
+//! | E16 | unified façade coverage | [`e16_facade`] |
 
 mod broadcast_exp;
 mod cluster_exp;
+mod facade_exp;
 mod mis_exp;
 mod models_exp;
 mod primitives_exp;
@@ -27,6 +29,7 @@ mod throughput_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
 pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
+pub use facade_exp::e16_facade;
 pub use mis_exp::{e10_golden_rounds, e3_mis_scaling, e4_mis_baselines};
 pub use models_exp::e13_models;
 pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
@@ -48,23 +51,66 @@ pub(crate) fn print_notes(record: &ExperimentRecord) {
     println!();
 }
 
+/// One entry of the experiment registry.
+pub struct ExperimentDef {
+    /// Stable id (`E1`…): the record filename and the `exp_*` binary key.
+    pub id: &'static str,
+    /// One-line claim, for listings.
+    pub claim: &'static str,
+    /// The experiment function.
+    pub run: fn(crate::Scale) -> ExperimentRecord,
+}
+
+/// The experiment registry, in run order — the **single** list every
+/// aggregate consumer derives from. `run_all` iterates it and the `exp_*`
+/// binaries resolve themselves through [`find`], so adding an experiment
+/// here is sufficient to reach the whole harness (and forgetting to add it
+/// makes the new binary fail loudly instead of silently skipping the
+/// aggregate run).
+pub const ALL: &[ExperimentDef] = &[
+    ExperimentDef { id: "E1", claim: "Claim 10 (Decay amplification)", run: e1_decay },
+    ExperimentDef { id: "E2", claim: "Lemma 11 (EstimateEffectiveDegree)", run: e2_eed },
+    ExperimentDef { id: "E3", claim: "Theorem 14 (Radio MIS O(log³ n))", run: e3_mis_scaling },
+    ExperimentDef { id: "E4", claim: "MIS round-complexity context", run: e4_mis_baselines },
+    ExperimentDef { id: "E5", claim: "Theorem 2 vs [CD21] Thm 2.2", run: e5_cluster_distance },
+    ExperimentDef { id: "E6", claim: "Lemma 5 (bad scales)", run: e6_bad_j },
+    ExperimentDef { id: "E7", claim: "Lemma 4 / Lemma 3 constants", run: e7_lemma4 },
+    ExperimentDef { id: "E8", claim: "Theorem 7 / Corollary 9 (broadcast)", run: e8_broadcast },
+    ExperimentDef { id: "E9", claim: "Theorem 8 (leader election)", run: e9_leader_election },
+    ExperimentDef { id: "E10", claim: "Lemmas 12–13 (golden rounds)", run: e10_golden_rounds },
+    ExperimentDef { id: "E11", claim: "design ablations", run: e11_ablations },
+    ExperimentDef { id: "E12", claim: "S2 constant calibration", run: e12_calibration },
+    ExperimentDef { id: "E13", claim: "reception-model comparison", run: e13_models },
+    ExperimentDef { id: "E14", claim: "dynamic-network scenarios", run: e14_scenarios },
+    ExperimentDef { id: "E15", claim: "sparse step-kernel throughput", run: e15_throughput },
+    ExperimentDef { id: "E16", claim: "unified façade coverage", run: e16_facade },
+];
+
+/// Looks an experiment up by id (case-insensitive).
+pub fn find(id: &str) -> Option<&'static ExperimentDef> {
+    ALL.iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
 /// Runs every experiment at the given scale, returning all records.
 pub fn run_all(scale: crate::Scale) -> Vec<ExperimentRecord> {
-    vec![
-        e1_decay(scale),
-        e2_eed(scale),
-        e3_mis_scaling(scale),
-        e4_mis_baselines(scale),
-        e5_cluster_distance(scale),
-        e6_bad_j(scale),
-        e7_lemma4(scale),
-        e8_broadcast(scale),
-        e9_leader_election(scale),
-        e10_golden_rounds(scale),
-        e11_ablations(scale),
-        e12_calibration(scale),
-        e13_models(scale),
-        e14_scenarios(scale),
-        e15_throughput(scale),
-    ]
+    ALL.iter().map(|e| (e.run)(scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique_and_resolvable() {
+        let mut ids: Vec<&str> = ALL.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ALL.len(), "duplicate experiment ids");
+        for e in ALL {
+            assert!(find(e.id).is_some());
+            assert!(find(&e.id.to_lowercase()).is_some(), "{} not case-insensitive", e.id);
+            assert!(!e.claim.is_empty());
+        }
+        assert!(find("E99").is_none());
+    }
 }

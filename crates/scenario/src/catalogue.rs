@@ -5,18 +5,19 @@
 //! to a fully determined experiment cell; [`Scenario::catalogue`] lists the
 //! named presets the sweep runner and `exp_scenarios` binary use.
 //!
-//! Dynamics recipes express event times as *fractions of the workload's
-//! step budget* (the quantity the paper's bounds are stated in), so one
-//! recipe scales across sizes and families: `0.0` is the start of the run
-//! and `1.0` is roughly where the workload's own budget would expire.
+//! The recipe vocabulary itself ([`Dynamics`] and its spec structs) lives
+//! in `radionet_api::spec` — a scenario is simply a *named*
+//! [`RunSpec`](radionet_api::RunSpec) family, and [`Workload`] names the
+//! registry task each cell runs.
 
-use crate::events::{EventKind, ScenarioEvent};
-use radionet_core::compete::CompeteConfig;
-use radionet_core::mis::MisConfig;
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
 use radionet_sim::{NetInfo, ReceptionMode};
 use serde::{Deserialize, Serialize};
+
+pub use radionet_api::spec::{ChurnSpec, Dynamics, JamSpec, PartitionSpec, StaggerSpec};
+
+use crate::events::ScenarioEvent;
 
 /// Which algorithm a scenario cell runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,7 +31,9 @@ pub enum Workload {
 }
 
 impl Workload {
-    /// Short stable name for tables and JSON.
+    /// Short stable name for tables and JSON. Doubles as the
+    /// `radionet_api` task-registry key, so a [`Scenario`] converts to a
+    /// [`RunSpec`](radionet_api::RunSpec) by name alone.
     pub fn name(self) -> &'static str {
         match self {
             Workload::Broadcast => "broadcast",
@@ -43,94 +46,20 @@ impl Workload {
     /// lower-envelope of how long the workload keeps running (its own
     /// budget), computable from [`NetInfo`] alone.
     ///
-    /// For the `Compete`-based workloads this is
-    /// [`CompeteConfig::propagation_budget`] of the default config (the
-    /// exact budget the stage-8 loop enforces); setup steps only push
-    /// events *earlier* relative to the run, never past its end. For MIS it
-    /// is the round budget of [`MisConfig::default`].
+    /// Delegates to the corresponding façade task's
+    /// [`Task::timebase`](radionet_api::Task::timebase) — there is exactly
+    /// one definition of each budget (for the `Compete`-based workloads,
+    /// `CompeteConfig::default().propagation_budget`; for MIS, the round
+    /// budget of `MisConfig::default`), so a scenario and its derived
+    /// [`RunSpec`](radionet_api::RunSpec) can never time their event
+    /// scripts differently.
     pub fn timebase(self, info: &NetInfo) -> u64 {
+        use radionet_api::tasks::{BroadcastTask, LeaderElectionTask, MisTask};
+        use radionet_api::Task;
         match self {
-            Workload::Broadcast | Workload::LeaderElection => {
-                CompeteConfig::default().propagation_budget(info)
-            }
-            Workload::Mis => {
-                let c = MisConfig::default();
-                let log_n = MisConfig::effective_log_n(info.log_n());
-                c.total_steps(log_n)
-            }
-        }
-    }
-}
-
-/// Staggered (asynchronous) wake-up: every node except 0 wakes at a
-/// deterministic pseudo-random time in `[0, spread × timebase]`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct StaggerSpec {
-    /// Wake-time spread as a fraction of the workload timebase.
-    pub spread: f64,
-}
-
-/// Node churn: a fraction of nodes crash at staggered times and rejoin
-/// `down` later.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct ChurnSpec {
-    /// Fraction of nodes (excluding node 0) that crash.
-    pub victims: f64,
-    /// First crash, as a fraction of the timebase.
-    pub start: f64,
-    /// Crash times spread over this additional fraction.
-    pub spread: f64,
-    /// Downtime per victim, as a fraction of the timebase.
-    pub down: f64,
-}
-
-/// A k-way partition (contiguous index blocks) later healed.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct PartitionSpec {
-    /// Number of parts.
-    pub parts: u32,
-    /// Split time as a fraction of the timebase.
-    pub at: f64,
-    /// Repair time as a fraction of the timebase.
-    pub heal_at: f64,
-}
-
-/// Adversarial jammers: a fraction of nodes defect and emit noise during a
-/// window.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct JamSpec {
-    /// Fraction of nodes (excluding node 0) that become jammers.
-    pub jammers: f64,
-    /// Jamming starts, as a fraction of the timebase.
-    pub from: f64,
-    /// Jamming ends, as a fraction of the timebase.
-    pub until: f64,
-}
-
-/// A dynamics recipe: how the topology evolves during the run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub enum Dynamics {
-    /// The paper's model: nothing changes.
-    Static,
-    /// Staggered wake-up.
-    StaggeredWake(StaggerSpec),
-    /// Crash/rejoin churn.
-    Churn(ChurnSpec),
-    /// Partition then repair.
-    PartitionRepair(PartitionSpec),
-    /// Jamming window.
-    Jamming(JamSpec),
-}
-
-impl Dynamics {
-    /// Short stable name for tables and JSON.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Dynamics::Static => "static",
-            Dynamics::StaggeredWake(_) => "staggered-wake",
-            Dynamics::Churn(_) => "churn",
-            Dynamics::PartitionRepair(_) => "partition-repair",
-            Dynamics::Jamming(_) => "jamming",
+            Workload::Broadcast => BroadcastTask.timebase(info),
+            Workload::LeaderElection => LeaderElectionTask.timebase(info),
+            Workload::Mis => MisTask.timebase(info),
         }
     }
 }
@@ -150,77 +79,13 @@ pub struct Scenario {
     pub dynamics: Dynamics,
 }
 
-/// Splitmix-style mixing for deterministic per-scenario derivations.
-pub(crate) fn mix(mut x: u64) -> u64 {
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Picks `count` distinct victims from `1..n` (node 0 — the instrumented
-/// source — is never picked), deterministically from `seed`.
-fn pick_victims(n: usize, count: usize, seed: u64) -> Vec<usize> {
-    assert!(n >= 2, "victim selection needs n >= 2");
-    let count = count.min(n - 1);
-    let mut picked = Vec::with_capacity(count);
-    let mut i = 0u64;
-    while picked.len() < count {
-        let v = 1 + (mix(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (n as u64 - 1)) as usize;
-        if !picked.contains(&v) {
-            picked.push(v);
-        }
-        i += 1;
-    }
-    picked
-}
-
 impl Scenario {
     /// Materializes the event script for one cell.
     ///
     /// Deterministic in `(graph, info, seed)`; fractions in the dynamics
     /// spec are scaled by [`Workload::timebase`].
     pub fn events_for(&self, g: &Graph, info: &NetInfo, seed: u64) -> Vec<ScenarioEvent> {
-        let h = self.workload.timebase(info) as f64;
-        let at = |frac: f64| (frac * h).round().max(0.0) as u64;
-        let n = g.n();
-        match self.dynamics {
-            Dynamics::Static => Vec::new(),
-            Dynamics::StaggeredWake(s) => (1..n)
-                .map(|v| {
-                    let t = mix(seed ^ 0x5a5a ^ v as u64) as f64 / u64::MAX as f64;
-                    ScenarioEvent::new(at(t * s.spread), EventKind::Wake(v))
-                })
-                .collect(),
-            Dynamics::Churn(c) => {
-                let count = ((n as f64 * c.victims).round() as usize).max(1);
-                let victims = pick_victims(n, count, seed ^ 0xc4u64);
-                let mut script = Vec::with_capacity(2 * victims.len());
-                for (i, &v) in victims.iter().enumerate() {
-                    let frac =
-                        if victims.len() > 1 { i as f64 / (victims.len() - 1) as f64 } else { 0.0 };
-                    let crash = at(c.start + frac * c.spread);
-                    script.push(ScenarioEvent::new(crash, EventKind::Crash(v)));
-                    script.push(ScenarioEvent::new(crash + at(c.down).max(1), EventKind::Join(v)));
-                }
-                script
-            }
-            Dynamics::PartitionRepair(p) => vec![
-                ScenarioEvent::new(at(p.at), EventKind::Partition(p.parts)),
-                ScenarioEvent::new(at(p.heal_at), EventKind::Heal),
-            ],
-            Dynamics::Jamming(j) => {
-                let count = ((n as f64 * j.jammers).round() as usize).max(1);
-                let victims = pick_victims(n, count, seed ^ 0x7a_7au64);
-                let mut script = Vec::with_capacity(2 * victims.len());
-                for &v in &victims {
-                    script.push(ScenarioEvent::new(at(j.from), EventKind::JammerOn(v)));
-                    script.push(ScenarioEvent::new(at(j.until), EventKind::JammerOff(v)));
-                }
-                script
-            }
-        }
+        self.dynamics.events_for(g, self.workload.timebase(info), seed)
     }
 
     /// The named presets swept by `exp_scenarios`: every dynamics recipe
@@ -234,11 +99,10 @@ impl Scenario {
             reception: ReceptionMode::Protocol,
             dynamics,
         };
-        let churn =
-            Dynamics::Churn(ChurnSpec { victims: 0.1, start: 0.05, spread: 0.15, down: 0.2 });
-        let split = Dynamics::PartitionRepair(PartitionSpec { parts: 2, at: 0.05, heal_at: 0.35 });
-        let jam = Dynamics::Jamming(JamSpec { jammers: 0.05, from: 0.05, until: 0.4 });
-        let wake = Dynamics::StaggeredWake(StaggerSpec { spread: 0.1 });
+        let churn = Dynamics::preset("churn").expect("standard preset");
+        let split = Dynamics::preset("partition-repair").expect("standard preset");
+        let jam = Dynamics::preset("jamming").expect("standard preset");
+        let wake = Dynamics::preset("staggered-wake").expect("standard preset");
         vec![
             mk("grid-static", Family::Grid, Workload::Broadcast, Dynamics::Static),
             mk("grid-churn", Family::Grid, Workload::Broadcast, churn),
@@ -283,6 +147,26 @@ mod tests {
     }
 
     #[test]
+    fn catalogue_presets_pin_historical_parameters() {
+        // The preset constants seed every event script; changing them would
+        // silently re-define every recorded sweep.
+        let churn = Dynamics::preset("churn").unwrap();
+        assert_eq!(
+            churn,
+            Dynamics::Churn(ChurnSpec { victims: 0.1, start: 0.05, spread: 0.15, down: 0.2 })
+        );
+        let split = Dynamics::preset("partition-repair").unwrap();
+        assert_eq!(
+            split,
+            Dynamics::PartitionRepair(PartitionSpec { parts: 2, at: 0.05, heal_at: 0.35 })
+        );
+        let jam = Dynamics::preset("jamming").unwrap();
+        assert_eq!(jam, Dynamics::Jamming(JamSpec { jammers: 0.05, from: 0.05, until: 0.4 }));
+        let wake = Dynamics::preset("staggered-wake").unwrap();
+        assert_eq!(wake, Dynamics::StaggeredWake(StaggerSpec { spread: 0.1 }));
+    }
+
+    #[test]
     fn events_deterministic_and_sound() {
         let g = Family::Grid.instantiate(49, 1);
         let info = NetInfo::exact(&g);
@@ -304,22 +188,20 @@ mod tests {
     }
 
     #[test]
-    fn victims_distinct_and_exclude_source() {
-        let v = pick_victims(50, 10, 9);
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 10);
-        assert!(v.iter().all(|&x| (1..50).contains(&x)));
-    }
-
-    #[test]
     fn timebase_scales_with_size() {
         let small = NetInfo { n: 64, d: 14, alpha: 32.0 };
         let big = NetInfo { n: 1024, d: 62, alpha: 512.0 };
         for w in [Workload::Broadcast, Workload::LeaderElection, Workload::Mis] {
             assert!(w.timebase(&big) > w.timebase(&small), "{}", w.name());
             assert!(w.timebase(&small) > 100, "{} timebase degenerate", w.name());
+        }
+    }
+
+    #[test]
+    fn workload_names_resolve_in_the_standard_registry() {
+        let registry = radionet_api::TaskRegistry::standard();
+        for w in [Workload::Broadcast, Workload::LeaderElection, Workload::Mis] {
+            assert!(registry.get(w.name()).is_some(), "{} has no task", w.name());
         }
     }
 }

@@ -8,14 +8,20 @@
 //!
 //! * [`events`] — the scenario vocabulary: timed node crash/join, edge
 //!   fades, k-way partition + repair, staggered wake-up, adversarial
-//!   jammers;
+//!   jammers (re-exported from `radionet_api`, which owns the run
+//!   machinery since the façade redesign);
 //! * [`dynamics`] — [`DynamicTopology`], a mutable overlay over the
 //!   immutable CSR graph implementing the engine's
-//!   [`TopologyView`](radionet_sim::TopologyView);
+//!   [`TopologyView`](radionet_sim::TopologyView) (also re-exported from
+//!   `radionet_api`);
 //! * [`catalogue`] — serde-able named scenarios composing a graph family,
-//!   a workload, a reception mode, and a dynamics recipe;
+//!   a workload, a reception mode, and a dynamics recipe — i.e. *named*
+//!   [`RunSpec`](radionet_api::RunSpec) families;
 //! * [`runner`] — a rayon-parallel sweep executor with deterministic
-//!   per-cell seeding; parallel and sequential runs are byte-identical.
+//!   per-cell seeding (shared with the façade via
+//!   [`radionet_api::seeds`]); parallel and sequential runs are
+//!   byte-identical, and each cell is a thin adapter over
+//!   [`Driver::run`](radionet_api::Driver::run).
 //!
 //! # Example: broadcast across a partition that heals
 //!
@@ -44,8 +50,8 @@
 #![warn(missing_docs)]
 
 pub mod catalogue;
-pub mod dynamics;
-pub mod events;
+pub use radionet_api::dynamics;
+pub use radionet_api::events;
 pub mod runner;
 
 pub use catalogue::{Dynamics, Scenario, Workload};

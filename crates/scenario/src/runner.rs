@@ -1,14 +1,24 @@
 //! The sweep runner: fans (scenario × size × seed) cells across cores.
 //!
 //! Every cell is a pure function of its [`CellSpec`] — the graph, the event
-//! script, and the simulator seed all derive from one mixed cell seed — so
-//! the rayon-parallel runner produces **byte-identical** results to the
-//! sequential one, in the same order. `exp_scenarios` asserts exactly that
-//! before writing records.
+//! script, and the simulator seed all derive from one mixed cell seed (see
+//! [`radionet_api::seeds`]) — so the rayon-parallel runner produces
+//! **byte-identical** results to the sequential one, in the same order.
+//! `exp_scenarios` asserts exactly that before writing records.
+//!
+//! Since the façade redesign, a cell *is* a named [`RunSpec`]:
+//! [`run_cell`] converts via
+//! [`spec_for_cell`] and delegates to [`Driver::run`]. The pre-façade
+//! hand-wired implementation is kept frozen as [`run_cell_reference`], and
+//! the `facade_equiv` integration suite pins the two paths byte-identical
+//! (reports *and* RNG fingerprints) across the whole catalogue, under both
+//! kernels.
 
-use crate::catalogue::{mix, Scenario, Workload};
+use crate::catalogue::{Scenario, Workload};
 use crate::dynamics::DynamicTopology;
 use radionet_analysis::{ExperimentRecord, RunRecord};
+use radionet_api::seeds;
+use radionet_api::{Driver, RunSpec};
 use radionet_core::broadcast::run_broadcast;
 use radionet_core::compete::CompeteConfig;
 use radionet_core::leader_election::{run_leader_election, LeaderElectionConfig};
@@ -38,20 +48,23 @@ impl SweepConfig {
 
     /// Expands the sweep into its cells, in deterministic order.
     pub fn cells(&self) -> Vec<CellSpec> {
-        let mut out =
-            Vec::with_capacity(self.scenarios.len() * self.sizes.len() * self.seeds as usize);
-        for scenario in &self.scenarios {
-            for &n in &self.sizes {
-                for rep in 0..self.seeds {
-                    let mut h = self.base_seed ^ mix(n as u64) ^ mix(rep.wrapping_add(77));
-                    for b in scenario.name.bytes() {
-                        h = mix(h ^ b as u64);
-                    }
-                    out.push(CellSpec { scenario: scenario.clone(), n, rep, cell_seed: h });
-                }
-            }
-        }
-        out
+        self.cells_iter().collect()
+    }
+
+    /// Lazily yields the sweep's cells in the same deterministic order as
+    /// [`SweepConfig::cells`], without materializing them — the CLI
+    /// streams arbitrarily large sweeps through this.
+    pub fn cells_iter(&self) -> impl Iterator<Item = CellSpec> + '_ {
+        self.scenarios.iter().flat_map(move |scenario| {
+            self.sizes.iter().flat_map(move |&n| {
+                (0..self.seeds).map(move |rep| CellSpec {
+                    scenario: scenario.clone(),
+                    n,
+                    rep,
+                    cell_seed: seeds::seed_for(self.base_seed, &scenario.name, n, rep),
+                })
+            })
+        })
     }
 }
 
@@ -103,23 +116,66 @@ pub struct CellResult {
     pub stats: SimStats,
 }
 
+/// The façade spec a cell denotes: same family, reception, dynamics, and
+/// cell seed, with the workload mapped to its task-registry key.
+pub fn spec_for_cell(cell: &CellSpec, kernel: Kernel) -> RunSpec {
+    RunSpec {
+        task: cell.scenario.workload.name().to_string(),
+        family: cell.scenario.family,
+        n: cell.n,
+        reception: cell.scenario.reception.clone(),
+        kernel,
+        dynamics: cell.scenario.dynamics,
+        steps: None,
+        seed: cell.cell_seed,
+    }
+}
+
 /// Runs one cell. Pure: identical `spec` ⇒ identical result.
 pub fn run_cell(spec: &CellSpec) -> CellResult {
     run_cell_kernel(spec, Kernel::default())
 }
 
-/// Runs one cell under an explicit step [`Kernel`]. Both kernels produce
-/// identical results — the scenario-level `kernel_equiv` tests assert this
-/// across the whole catalogue.
+/// Runs one cell under an explicit step [`Kernel`]: a thin adapter that
+/// converts to a [`RunSpec`] and delegates to the façade [`Driver`]. Both
+/// kernels produce identical results — the scenario-level `kernel_equiv`
+/// tests assert this across the whole catalogue.
 pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
+    let report = Driver::standard()
+        .run(&spec_for_cell(spec, kernel))
+        .expect("catalogue cells are valid specs");
+    CellResult {
+        scenario: spec.scenario.name.clone(),
+        family: spec.scenario.family.name().to_string(),
+        workload: spec.scenario.workload.name().to_string(),
+        dynamics: spec.scenario.dynamics.name().to_string(),
+        n: report.n,
+        rep: spec.rep,
+        d: report.d,
+        alpha: report.alpha,
+        events: report.events,
+        success: report.success,
+        achieved: report.achieved,
+        clock_total: report.clock_total,
+        clock_done: report.clock_done,
+        stats: report.stats,
+    }
+}
+
+/// The **frozen pre-façade implementation** of a cell, kept verbatim as the
+/// differential oracle for [`run_cell_kernel`]: the `facade_equiv` suite
+/// asserts the façade path reproduces this hand-wired pipeline
+/// bit-for-bit — same [`CellResult`] *and* same per-node RNG fingerprint —
+/// for every catalogue entry under both kernels. Not for new callers.
+pub fn run_cell_reference(spec: &CellSpec, kernel: Kernel) -> (CellResult, u64) {
     let sc = &spec.scenario;
-    let graph_seed = mix(spec.cell_seed ^ 0x6a);
+    let graph_seed = seeds::mix(spec.cell_seed ^ 0x6a);
     let g = sc.family.instantiate(spec.n, graph_seed);
     let info = NetInfo::exact(&g);
-    let events = sc.events_for(&g, &info, mix(spec.cell_seed ^ 0xe7));
+    let events = sc.events_for(&g, &info, seeds::mix(spec.cell_seed ^ 0xe7));
     let n_events = events.len();
     let topo = DynamicTopology::new(&g, events);
-    let sim_seed = mix(spec.cell_seed ^ 0x51);
+    let sim_seed = seeds::mix(spec.cell_seed ^ 0x51);
     let mut sim = Sim::with_topology(&g, topo, info, sim_seed, sc.reception.clone());
     sim.set_kernel(kernel);
 
@@ -133,7 +189,7 @@ pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
         Workload::LeaderElection => {
             let out = run_leader_election(
                 &mut sim,
-                mix(spec.cell_seed ^ 0x1e),
+                seeds::mix(spec.cell_seed ^ 0x1e),
                 &LeaderElectionConfig::default(),
             );
             let agree = match out.leader {
@@ -153,7 +209,7 @@ pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
         }
     };
 
-    CellResult {
+    let result = CellResult {
         scenario: sc.name.clone(),
         family: sc.family.name().to_string(),
         workload: sc.workload.name().to_string(),
@@ -168,7 +224,8 @@ pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
         clock_total: sim.clock(),
         clock_done,
         stats: *sim.stats(),
-    }
+    };
+    (result, sim.rng_fingerprint())
 }
 
 /// Runs the sweep on the current thread, in cell order.
@@ -269,6 +326,15 @@ mod tests {
     }
 
     #[test]
+    fn cell_seed_pins_the_shared_derivation() {
+        // The extracted `seeds::seed_for` must keep producing the exact
+        // values the runner's private derivation always produced (the
+        // companion pin for `seeds::tests::pinned_values`).
+        let cfg = tiny_config();
+        assert_eq!(cfg.cells()[0].cell_seed, 0xafd9_5556_08f2_5d31);
+    }
+
+    #[test]
     fn parallel_matches_sequential_exactly() {
         // Determinism here is by construction (cells are pure functions of
         // their specs), so the check holds for any worker count; genuinely
@@ -290,6 +356,16 @@ mod tests {
         for r in results.iter().filter(|r| r.scenario == "t-static") {
             assert!(r.success, "static broadcast failed: {r:?}");
             assert!((r.achieved - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn facade_path_matches_reference_on_tiny_cells() {
+        // The exhaustive catalogue × kernel sweep lives in
+        // `tests/facade_equiv.rs`; this is the fast in-crate guard.
+        for cell in tiny_config().cells() {
+            let (reference, _fp) = run_cell_reference(&cell, Kernel::default());
+            assert_eq!(run_cell(&cell), reference, "façade diverged in {}", cell.scenario.name);
         }
     }
 

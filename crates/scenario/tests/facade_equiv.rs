@@ -1,0 +1,81 @@
+//! Façade equivalence: `Driver::run` on a catalogue-derived [`RunSpec`]
+//! must be **byte-identical** to the frozen pre-façade cell pipeline —
+//! same `CellResult` (stats, clocks, achieved fractions) *and* same
+//! per-node RNG fingerprint — for the full scenario catalogue, under both
+//! step kernels and both protocol-model reception modes.
+//!
+//! This is the acceptance gate of the API redesign: the unified entry
+//! point may not change a single bit of any result the repo has ever
+//! recorded.
+
+use radionet_api::Driver;
+use radionet_scenario::runner::{
+    run_cell_kernel, run_cell_reference, spec_for_cell, CellSpec, SweepConfig,
+};
+use radionet_sim::{Kernel, ReceptionMode};
+
+fn catalogue_cells(base_seed: u64) -> Vec<CellSpec> {
+    SweepConfig::catalogue(vec![36], 1, base_seed).cells()
+}
+
+fn assert_cell_equivalent(cell: &CellSpec, kernel: Kernel) {
+    let (reference, reference_fp) = run_cell_reference(cell, kernel);
+    let facade = run_cell_kernel(cell, kernel);
+    assert_eq!(
+        facade, reference,
+        "façade diverged from legacy pipeline in {} under {kernel:?}",
+        cell.scenario.name
+    );
+
+    // Byte-level identity of the serialized rows, not just PartialEq.
+    let a = serde_json::to_string_pretty(&facade).unwrap();
+    let b = serde_json::to_string_pretty(&reference).unwrap();
+    assert_eq!(a, b, "serialized results differ in {}", cell.scenario.name);
+
+    // The RNG fingerprint proves the two paths consumed *identical*
+    // randomness node-for-node, not merely that summaries agree.
+    let report = Driver::standard().run(&spec_for_cell(cell, kernel)).expect("valid spec");
+    assert_eq!(
+        report.rng_fingerprint, reference_fp,
+        "RNG streams diverged in {} under {kernel:?}",
+        cell.scenario.name
+    );
+    assert_eq!(report.stats, reference.stats);
+    assert_eq!(report.clock_total, reference.clock_total);
+}
+
+/// The whole catalogue, both kernels: spec path ≡ legacy path.
+#[test]
+fn full_catalogue_facade_equivalence() {
+    for cell in catalogue_cells(0xface) {
+        assert_cell_equivalent(&cell, Kernel::Sparse);
+        assert_cell_equivalent(&cell, Kernel::Dense);
+    }
+}
+
+/// Same sweep under collision-detection reception (the catalogue presets
+/// are all protocol-model; clone them onto CD).
+#[test]
+fn full_catalogue_facade_equivalence_under_cd() {
+    let mut cells = catalogue_cells(0xcd_face);
+    for cell in &mut cells {
+        cell.scenario.reception = ReceptionMode::ProtocolCd;
+    }
+    for cell in cells {
+        assert_cell_equivalent(&cell, Kernel::Sparse);
+        assert_cell_equivalent(&cell, Kernel::Dense);
+    }
+}
+
+/// The spec derived from a cell carries the cell seed verbatim, so the
+/// derived sub-seeds (graph, events, sim, lottery) cannot drift.
+#[test]
+fn cell_spec_round_trips_the_seed() {
+    for cell in catalogue_cells(7) {
+        let spec = spec_for_cell(&cell, Kernel::default());
+        assert_eq!(spec.seed, cell.cell_seed);
+        assert_eq!(spec.task, cell.scenario.workload.name());
+        assert_eq!(spec.family, cell.scenario.family);
+        assert_eq!(spec.dynamics, cell.scenario.dynamics);
+    }
+}

@@ -36,6 +36,7 @@ use crate::topology::{StaticTopology, TopologyView};
 use radionet_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -55,7 +56,7 @@ pub struct PhaseReport {
 }
 
 /// Which step kernel [`Sim::run_phase`] executes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Kernel {
     /// The transmitter-centric active-set kernel (see the module docs):
     /// per-step cost proportional to radio activity. Automatically falls
@@ -69,6 +70,16 @@ pub enum Kernel {
     /// [`Wake`] hints. Always correct, never fast; kept as the
     /// differential-testing oracle.
     Dense,
+}
+
+impl Kernel {
+    /// Short stable name for tables and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Sparse => "sparse",
+            Kernel::Dense => "dense",
+        }
+    }
 }
 
 /// Per-node scheduling state of the sparse kernel, reused across phases.

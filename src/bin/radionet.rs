@@ -1,0 +1,348 @@
+//! The `radionet` CLI: the unified façade from the shell.
+//!
+//! One binary exposes every algorithm in the workspace through the typed
+//! [`RunSpec`] surface:
+//!
+//! ```text
+//! radionet run --task broadcast --family grid --n 64 --seed 7
+//! radionet run --spec spec.json
+//! radionet sweep --sizes 36,64 --seeds 2 --base-seed 1 --out results.jsonl
+//! radionet list-tasks
+//! radionet catalogue
+//! ```
+//!
+//! `run` prints one [`RunReport`] as JSON; `sweep` expands the named
+//! scenario catalogue into specs and streams reports through a
+//! [`ResultSink`] (JSONL by default), so arbitrarily large sweeps never
+//! buffer in memory.
+
+use radionet::api::{
+    Driver, Dynamics, JsonArraySink, JsonlSink, ResultSink, RunReport, RunSpec, TaskRegistry,
+};
+use radionet::graph::families::Family;
+use radionet::scenario::runner::{spec_for_cell, SweepConfig};
+use radionet::scenario::Scenario;
+use radionet::sim::{Kernel, ReceptionMode};
+use serde::Serialize;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+radionet — unified CLI over every algorithm in the workspace
+
+USAGE:
+  radionet run [OPTIONS]         run one spec, print its RunReport as JSON
+  radionet sweep [OPTIONS]       expand the scenario catalogue into specs and stream reports
+  radionet list-tasks [--json]   list the task registry
+  radionet catalogue [--cells]   print the named scenario catalogue as JSON
+  radionet help                  this text
+
+RUN OPTIONS:
+  --spec FILE|-       read a full RunSpec from a JSON file (or stdin); other
+                      spec flags are rejected when --spec is given. Spec
+                      JSON uses the typed enum names (\"Grid\", \"Sparse\",
+                      {\"Churn\": {..}}) — generate a valid template with
+                      `radionet catalogue --cells` or take the `spec` field
+                      of any RunReport
+  --task KEY          task registry key            [default: broadcast]
+  --family NAME       graph family                 [default: grid]
+  --n N               requested node count         [default: 64]
+  --seed S            cell seed                    [default: 0]
+  --reception MODE    protocol | protocol+cd       [default: protocol]
+  --kernel K          sparse | dense               [default: sparse]
+  --dynamics NAME     static | churn | partition-repair | jamming |
+                      staggered-wake (standard presets)  [default: static]
+  --steps N           optional step-budget cap
+  --compact           compact JSON instead of pretty
+  --out FILE          write to FILE instead of stdout
+
+SWEEP OPTIONS:
+  --sizes LIST        comma-separated sizes        [default: 36]
+  --seeds K           repetitions per cell         [default: 1]
+  --base-seed S       master seed                  [default: 0]
+  --scenario NAME     restrict to a named scenario (repeatable)
+  --kernel K          sparse | dense               [default: sparse]
+  --format F          jsonl | json                 [default: jsonl]
+  --sequential        one cell at a time (default: rayon chunks; the
+                      output stream is byte-identical either way)
+  --chunk N           parallel chunk size          [default: 64]
+  --out FILE          write to FILE instead of stdout
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
+        "list-tasks" => cmd_list_tasks(rest),
+        "catalogue" => cmd_catalogue(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (see `radionet help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("radionet {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A tiny flag cursor over `--key value` / `--switch` argument lists.
+struct Args<'a> {
+    rest: &'a [String],
+    i: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(rest: &'a [String]) -> Self {
+        Args { rest, i: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.rest.get(self.i)?;
+        self.i += 1;
+        Some(flag.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        let v = self.rest.get(self.i).ok_or_else(|| format!("{flag} needs a value"))?;
+        self.i += 1;
+        Ok(v.as_str())
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e| format!("{flag} {value:?}: {e}"))
+}
+
+fn parse_family(name: &str) -> Result<Family, String> {
+    Family::ALL.into_iter().find(|f| f.name() == name).ok_or_else(|| {
+        let all: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        format!("unknown family {name:?}; one of: {}", all.join(", "))
+    })
+}
+
+fn parse_kernel(name: &str) -> Result<Kernel, String> {
+    match name {
+        "sparse" => Ok(Kernel::Sparse),
+        "dense" => Ok(Kernel::Dense),
+        other => Err(format!("unknown kernel {other:?}; sparse or dense")),
+    }
+}
+
+fn parse_reception(name: &str) -> Result<ReceptionMode, String> {
+    match name {
+        "protocol" => Ok(ReceptionMode::Protocol),
+        "protocol+cd" | "cd" => Ok(ReceptionMode::ProtocolCd),
+        other => Err(format!(
+            "unknown reception {other:?}; protocol or protocol+cd (SINR needs --spec with positions)"
+        )),
+    }
+}
+
+fn parse_sizes(list: &str) -> Result<Vec<usize>, String> {
+    list.split(',')
+        .map(|s| parse::<usize>("--sizes", s.trim()))
+        .collect::<Result<Vec<_>, _>>()
+        .and_then(|v| if v.is_empty() { Err("--sizes is empty".into()) } else { Ok(v) })
+}
+
+fn open_out(path: Option<&str>) -> Result<Box<dyn Write>, String> {
+    match path {
+        None | Some("-") => Ok(Box::new(std::io::stdout())),
+        Some(p) => {
+            let f = std::fs::File::create(p).map_err(|e| format!("cannot create {p}: {e}"))?;
+            Ok(Box::new(std::io::BufWriter::new(f)))
+        }
+    }
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let mut args = Args::new(rest);
+    let mut spec_file: Option<String> = None;
+    let mut spec = RunSpec::new("broadcast", Family::Grid, 64);
+    let mut flag_count = 0usize;
+    let mut compact = false;
+    let mut out: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--spec" => spec_file = Some(args.value(flag)?.to_string()),
+            "--task" => {
+                spec.task = args.value(flag)?.to_string();
+                flag_count += 1;
+            }
+            "--family" => {
+                spec.family = parse_family(args.value(flag)?)?;
+                flag_count += 1;
+            }
+            "--n" => {
+                spec.n = parse(flag, args.value(flag)?)?;
+                flag_count += 1;
+            }
+            "--seed" => {
+                spec.seed = parse(flag, args.value(flag)?)?;
+                flag_count += 1;
+            }
+            "--reception" => {
+                spec.reception = parse_reception(args.value(flag)?)?;
+                flag_count += 1;
+            }
+            "--kernel" => {
+                spec.kernel = parse_kernel(args.value(flag)?)?;
+                flag_count += 1;
+            }
+            "--dynamics" => {
+                let name = args.value(flag)?;
+                spec.dynamics =
+                    Dynamics::preset(name).ok_or_else(|| format!("unknown dynamics {name:?}"))?;
+                flag_count += 1;
+            }
+            "--steps" => {
+                spec.steps = Some(parse(flag, args.value(flag)?)?);
+                flag_count += 1;
+            }
+            "--compact" => compact = true,
+            "--out" => out = Some(args.value(flag)?.to_string()),
+            other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
+        }
+    }
+    if let Some(path) = spec_file {
+        if flag_count > 0 {
+            return Err("--spec replaces the whole spec; drop the other spec flags".into());
+        }
+        let json = if path == "-" {
+            std::io::read_to_string(std::io::stdin()).map_err(|e| e.to_string())?
+        } else {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        spec = serde_json::from_str(&json).map_err(|e| format!("bad spec in {path}: {e}"))?;
+    }
+    let report = Driver::standard().run(&spec).map_err(|e| e.to_string())?;
+    let rendered = render(&report, compact)?;
+    let mut w = open_out(out.as_deref())?;
+    writeln!(w, "{rendered}").and_then(|()| w.flush()).map_err(|e| e.to_string())
+}
+
+fn cmd_sweep(rest: &[String]) -> Result<(), String> {
+    let mut args = Args::new(rest);
+    let mut sizes = vec![36usize];
+    let mut seeds = 1u64;
+    let mut base_seed = 0u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut kernel = Kernel::default();
+    let mut format = "jsonl".to_string();
+    let mut sequential = false;
+    let mut chunk = 64usize;
+    let mut out: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--sizes" => sizes = parse_sizes(args.value(flag)?)?,
+            "--seeds" => seeds = parse(flag, args.value(flag)?)?,
+            "--base-seed" => base_seed = parse(flag, args.value(flag)?)?,
+            "--scenario" => names.push(args.value(flag)?.to_string()),
+            "--kernel" => kernel = parse_kernel(args.value(flag)?)?,
+            "--format" => format = args.value(flag)?.to_string(),
+            "--sequential" => sequential = true,
+            "--chunk" => chunk = parse(flag, args.value(flag)?)?,
+            "--out" => out = Some(args.value(flag)?.to_string()),
+            other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
+        }
+    }
+
+    let mut scenarios = Scenario::catalogue();
+    if !names.is_empty() {
+        for name in &names {
+            if !scenarios.iter().any(|s| &s.name == name) {
+                let known: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+                return Err(format!("unknown scenario {name:?}; one of: {}", known.join(", ")));
+            }
+        }
+        scenarios.retain(|s| names.contains(&s.name));
+    }
+    let config = SweepConfig { scenarios, sizes, seeds, base_seed };
+
+    let w = open_out(out.as_deref())?;
+    let mut sink: Box<dyn ResultSink> = match format.as_str() {
+        "jsonl" => Box::new(JsonlSink::new(w)),
+        "json" => Box::new(JsonArraySink::new(w)),
+        other => return Err(format!("unknown format {other:?}; jsonl or json")),
+    };
+    // Cells are generated lazily and specs exist only chunk-at-a-time, so
+    // the sweep's memory footprint is O(chunk) regardless of its size.
+    let specs = config.cells_iter().map(|cell| spec_for_cell(&cell, kernel));
+    let driver = Driver::standard();
+    let emitted = driver
+        .run_sweep_streaming(specs, if sequential { 1 } else { chunk }, sink.as_mut())
+        .map_err(|e| e.to_string())?;
+    eprintln!("{emitted} cells swept");
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct TaskRow {
+    key: String,
+    description: String,
+}
+
+fn cmd_list_tasks(rest: &[String]) -> Result<(), String> {
+    let as_json = match rest {
+        [] => false,
+        [flag] if flag == "--json" => true,
+        _ => return Err("list-tasks takes only --json".into()),
+    };
+    let registry = TaskRegistry::standard();
+    if as_json {
+        let rows: Vec<TaskRow> = registry
+            .iter()
+            .map(|t| TaskRow { key: t.key().to_string(), description: t.describe().to_string() })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?);
+    } else {
+        let width = registry.keys().map(str::len).max().unwrap_or(0);
+        for task in registry.iter() {
+            println!("{:width$}  {}", task.key(), task.describe());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_catalogue(rest: &[String]) -> Result<(), String> {
+    match rest {
+        [] => {
+            let cat = Scenario::catalogue();
+            println!("{}", serde_json::to_string_pretty(&cat).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        [flag] if flag == "--cells" => {
+            // The catalogue expanded at the default sweep shape, as specs.
+            let config = SweepConfig::catalogue(vec![36], 1, 0);
+            let specs: Vec<RunSpec> =
+                config.cells().iter().map(|c| spec_for_cell(c, Kernel::default())).collect();
+            println!("{}", serde_json::to_string_pretty(&specs).map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        _ => Err("catalogue takes only --cells".into()),
+    }
+}
+
+fn render(report: &RunReport, compact: bool) -> Result<String, String> {
+    if compact {
+        serde_json::to_string(report).map_err(|e| e.to_string())
+    } else {
+        serde_json::to_string_pretty(report).map_err(|e| e.to_string())
+    }
+}

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub use radionet_analysis as analysis;
+pub use radionet_api as api;
 pub use radionet_baselines as baselines;
 pub use radionet_cluster as cluster;
 pub use radionet_core as core;
