@@ -39,6 +39,42 @@ pub fn group_summaries<'a>(
         .collect()
 }
 
+/// How a time-resolved series drifted over a run: endpoints and envelope.
+///
+/// The mobility experiments feed per-sample α-bounds and diameters through
+/// this to report how the independence-number regime shifts as nodes move.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesDrift {
+    /// First value of the series.
+    pub first: f64,
+    /// Last value of the series.
+    pub last: f64,
+    /// Minimum over the series.
+    pub lo: f64,
+    /// Maximum over the series.
+    pub hi: f64,
+}
+
+impl SeriesDrift {
+    /// Relative change `last / first − 1` (0 when the series starts at 0).
+    pub fn relative_change(&self) -> f64 {
+        if self.first == 0.0 {
+            0.0
+        } else {
+            self.last / self.first - 1.0
+        }
+    }
+}
+
+/// Summarizes a time-ordered series into its [`SeriesDrift`]; `None` for
+/// an empty series.
+pub fn drift(values: &[f64]) -> Option<SeriesDrift> {
+    let (&first, &last) = (values.first()?, values.last()?);
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(SeriesDrift { first, last, lo, hi })
+}
+
 /// The fraction of rows in which `metric` equals 1.0 (success-rate
 /// aggregation for boolean metrics), or `None` if no row carries it.
 pub fn success_rate<'a>(
@@ -92,5 +128,17 @@ mod tests {
         let rows = vec![row("a", 1, 0.0, 1.0), row("a", 1, 0.0, 0.0)];
         assert_eq!(success_rate(&rows, "success"), Some(0.5));
         assert_eq!(success_rate(&rows, "nope"), None);
+    }
+
+    #[test]
+    fn drift_summarizes_endpoints_and_envelope() {
+        assert_eq!(drift(&[]), None);
+        let d = drift(&[4.0, 9.0, 2.0, 6.0]).unwrap();
+        assert_eq!(d.first, 4.0);
+        assert_eq!(d.last, 6.0);
+        assert_eq!(d.lo, 2.0);
+        assert_eq!(d.hi, 9.0);
+        assert!((d.relative_change() - 0.5).abs() < 1e-12);
+        assert_eq!(drift(&[0.0, 3.0]).unwrap().relative_change(), 0.0);
     }
 }

@@ -5,8 +5,10 @@ use crate::dynamics::DynamicTopology;
 use crate::registry::TaskRegistry;
 use crate::seeds;
 use crate::sink::ResultSink;
-use crate::spec::RunSpec;
+use crate::spec::{Dynamics, RunSpec};
 use crate::task::{TaskCtx, TaskOutcome};
+use crate::topology::RunTopology;
+use radionet_mobility::{MobileTopology, MobilityTrace};
 use radionet_sim::{NetInfo, Sim, SimStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -72,6 +74,10 @@ pub struct RunReport {
     /// Digest of all per-node RNG states at exit: two runs consumed
     /// identical randomness iff their fingerprints match.
     pub rng_fingerprint: u64,
+    /// Mobility runs only: spatial-index work counters plus the
+    /// time-resolved α-bounds/diameter samples recorded as the nodes
+    /// moved. `None` for scripted dynamics.
+    pub mobility: Option<MobilityTrace>,
 }
 
 /// Executes [`RunSpec`]s against a [`TaskRegistry`].
@@ -127,27 +133,75 @@ impl Driver {
             .ok_or_else(|| RunError::UnknownTask(spec.task.clone()))?;
         task.check_spec(spec).map_err(RunError::InvalidSpec)?;
 
-        let g = spec.family.instantiate(spec.n, seeds::graph_seed(spec.seed));
-        // SINR needs exactly one position per node of the *instantiated*
-        // graph (families may round the requested n), so the count can
-        // only be checked here — the engine asserts on a mismatch.
-        if let radionet_sim::ReceptionMode::Sinr(cfg) = &spec.reception {
-            if cfg.positions.len() != g.n() {
-                return Err(RunError::InvalidSpec(format!(
-                    "SINR reception carries {} positions but {} instantiates {} nodes \
-                     (requested n = {})",
-                    cfg.positions.len(),
-                    spec.family.name(),
-                    g.n(),
-                    spec.n
-                )));
+        // Mobility derives the topology from the moving point set; every
+        // scripted recipe (static is an empty script) uses the overlay.
+        let (g, info, topo, n_events) = match &spec.dynamics {
+            Dynamics::Mobility(m) => {
+                if matches!(spec.reception, radionet_sim::ReceptionMode::Sinr(_)) {
+                    return Err(RunError::InvalidSpec(
+                        "mobility moves node positions, but SINR reception carries a fixed \
+                         position table; use protocol-model reception"
+                            .into(),
+                    ));
+                }
+                let positioned =
+                    spec.family.instantiate_positioned(spec.n, seeds::graph_seed(spec.seed));
+                // `spec.validate()` above already rejected families without
+                // an embedding (`Family::has_embedding` ⇔ geometry present,
+                // pinned by the families tests).
+                let geometry = positioned
+                    .geometry
+                    .expect("validate() guarantees an embedding for mobility specs");
+                let mut mobile = MobileTopology::new(
+                    &geometry,
+                    m.model,
+                    m.tick.max(1),
+                    seeds::mobility_seed(spec.seed),
+                );
+                // The run's base graph is the derived t = 0 topology (for
+                // the deterministic rules it equals the generated graph;
+                // the quasi gray zone is re-realized by the pair coin).
+                let g = mobile.initial_graph();
+                let info = NetInfo::exact(&g);
+                // `None` → the driver's default cadence; `Some(0)` → the
+                // explicit off switch (no trace samples, no sampling cost).
+                let cadence = match m.sample_every {
+                    None => Some((task.timebase(&info) / 8).max(1)),
+                    Some(0) => None,
+                    Some(every) => Some(every),
+                };
+                mobile.set_sample_every(cadence);
+                (g, info, RunTopology::Mobile(mobile), 0usize)
             }
-        }
-        let info = NetInfo::exact(&g);
-        let events =
-            spec.dynamics.events_for(&g, task.timebase(&info), seeds::events_seed(spec.seed));
-        let n_events = events.len();
-        let topo = DynamicTopology::new(&g, events);
+            _ => {
+                let g = spec.family.instantiate(spec.n, seeds::graph_seed(spec.seed));
+                // SINR needs exactly one position per node of the
+                // *instantiated* graph (families may round the requested
+                // n), so the count can only be checked here — the engine
+                // asserts on a mismatch.
+                if let radionet_sim::ReceptionMode::Sinr(cfg) = &spec.reception {
+                    if cfg.positions.len() != g.n() {
+                        return Err(RunError::InvalidSpec(format!(
+                            "SINR reception carries {} positions but {} instantiates {} nodes \
+                             (requested n = {})",
+                            cfg.positions.len(),
+                            spec.family.name(),
+                            g.n(),
+                            spec.n
+                        )));
+                    }
+                }
+                let info = NetInfo::exact(&g);
+                let events = spec.dynamics.events_for(
+                    &g,
+                    task.timebase(&info),
+                    seeds::events_seed(spec.seed),
+                );
+                let n_events = events.len();
+                let topo = RunTopology::Scripted(DynamicTopology::new(&g, events));
+                (g, info, topo, n_events)
+            }
+        };
         let mut sim =
             Sim::with_topology(&g, topo, info, seeds::sim_seed(spec.seed), spec.reception.clone());
         sim.set_kernel(spec.kernel);
@@ -158,6 +212,7 @@ impl Driver {
             step_cap: spec.steps,
         };
         let outcome = task.run(&mut sim, &ctx);
+        let mobility = sim.topology().mobile().map(MobileTopology::to_trace);
 
         Ok(RunReport {
             spec: spec.clone(),
@@ -172,6 +227,7 @@ impl Driver {
             clock_total: sim.clock(),
             stats: *sim.stats(),
             rng_fingerprint: sim.rng_fingerprint(),
+            mobility,
         })
     }
 

@@ -22,8 +22,14 @@
 //!   in-memory implementations (huge sweeps never buffer);
 //! * [`events`] / [`dynamics`] — the dynamic-topology vocabulary
 //!   ([`ScenarioEvent`](events::ScenarioEvent) scripts and the
-//!   [`DynamicTopology`](dynamics::DynamicTopology) overlay) every run is
-//!   executed through (a static run is simply an empty script);
+//!   [`DynamicTopology`](dynamics::DynamicTopology) overlay) every
+//!   scripted run is executed through (a static run is simply an empty
+//!   script);
+//! * [`topology`] — [`RunTopology`], the unified view tasks run under:
+//!   the scripted overlay or a
+//!   [`MobileTopology`](radionet_mobility::MobileTopology) whose edges
+//!   are re-derived from moving geometry
+//!   ([`Dynamics::Mobility`](spec::Dynamics::Mobility) recipes);
 //! * [`seeds`] — the shared deterministic seed derivation: identical specs
 //!   produce bit-identical reports anywhere.
 //!
@@ -57,12 +63,14 @@ pub mod sink;
 pub mod spec;
 pub mod task;
 pub mod tasks;
+pub mod topology;
 
 pub use driver::{Driver, RunError, RunReport};
 pub use registry::TaskRegistry;
 pub use sink::{JsonArraySink, JsonlSink, MemorySink, ResultSink};
-pub use spec::{ChurnSpec, Dynamics, JamSpec, PartitionSpec, RunSpec, StaggerSpec};
+pub use spec::{ChurnSpec, Dynamics, JamSpec, MobilitySpec, PartitionSpec, RunSpec, StaggerSpec};
 pub use task::{
     BroadcastSummary, ElectionSummary, MisSummary, PartitionSummary, Task, TaskCtx, TaskOutcome,
     WakeupSummary,
 };
+pub use topology::RunTopology;

@@ -52,6 +52,12 @@ pub fn lottery_seed(cell_seed: u64) -> u64 {
     mix(cell_seed ^ 0x1e)
 }
 
+/// The seed the mobility subsystem derives all motion randomness (and the
+/// quasi-UDG pair coins) from.
+pub fn mobility_seed(cell_seed: u64) -> u64 {
+    mix(cell_seed ^ 0xb0b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,12 +75,14 @@ mod tests {
         assert_eq!(events_seed(a), 0x99b4_abb8_250e_ef13);
         assert_eq!(sim_seed(a), 0x354c_d6cf_8f85_6e8a);
         assert_eq!(lottery_seed(a), 0xa23d_f5e8_9228_eb74);
+        assert_eq!(mobility_seed(a), 0xd39a_61ed_284e_18c6);
     }
 
     #[test]
     fn distinct_streams_per_cell_seed() {
         let s = 0x1234_5678_9abc_def0;
-        let derived = [graph_seed(s), events_seed(s), sim_seed(s), lottery_seed(s)];
+        let derived =
+            [graph_seed(s), events_seed(s), sim_seed(s), lottery_seed(s), mobility_seed(s)];
         let mut sorted = derived.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

@@ -7,6 +7,7 @@ use crate::events::{EventKind, ScenarioEvent};
 use crate::seeds::mix;
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
+use radionet_mobility::{GroupDriftParams, MobilityModel, WalkParams, WaypointParams};
 use radionet_sim::{Kernel, ReceptionMode};
 use serde::{Deserialize, Serialize};
 
@@ -55,13 +56,33 @@ pub struct JamSpec {
     pub until: f64,
 }
 
+/// Continuously moving geometric nodes: the topology is *re-derived from
+/// evolving positions* (see `radionet-mobility`) instead of mutated by
+/// scripted events. Requires a geometric family — the point set the
+/// generators expose via
+/// [`Family::instantiate_positioned`](radionet_graph::families::Family::instantiate_positioned)
+/// is what moves.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MobilitySpec {
+    /// The mobility model (speeds in interaction radii per tick).
+    pub model: MobilityModel,
+    /// Engine steps per mobility tick (≥ 1; the driver clamps 0 to 1).
+    pub tick: u64,
+    /// Engine steps between time-resolved α-bounds/diameter samples;
+    /// `None` lets the driver pick `timebase / 8`, and `Some(0)` disables
+    /// sampling entirely (no trace samples, no sampling cost).
+    pub sample_every: Option<u64>,
+}
+
 /// A dynamics recipe: how the topology evolves during the run.
 ///
 /// Event times are expressed as *fractions of the task's timebase* (the
 /// step budget the paper's bounds are stated in, see
 /// [`Task::timebase`](crate::Task::timebase)), so one recipe scales across
 /// sizes and families: `0.0` is the start of the run and `1.0` is roughly
-/// where the task's own budget would expire.
+/// where the task's own budget would expire. [`Dynamics::Mobility`] is the
+/// exception: it scripts no events — the topology follows the moving
+/// point set tick by tick.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Dynamics {
     /// The paper's model: nothing changes.
@@ -74,6 +95,8 @@ pub enum Dynamics {
     PartitionRepair(PartitionSpec),
     /// Jamming window.
     Jamming(JamSpec),
+    /// Moving geometric nodes (geometric families only).
+    Mobility(MobilitySpec),
 }
 
 impl Dynamics {
@@ -85,6 +108,13 @@ impl Dynamics {
             Dynamics::Churn(_) => "churn",
             Dynamics::PartitionRepair(_) => "partition-repair",
             Dynamics::Jamming(_) => "jamming",
+            Dynamics::Mobility(m) => match m.model.kind_name() {
+                "waypoint" => "mobility:waypoint",
+                "walk" => "mobility:walk",
+                "levy" => "mobility:levy",
+                "group" => "mobility:group",
+                _ => "mobility:static",
+            },
         }
     }
 
@@ -106,13 +136,69 @@ impl Dynamics {
             "staggered" | "staggered-wake" => {
                 Some(Dynamics::StaggeredWake(StaggerSpec { spread: 0.1 }))
             }
+            // Classic random waypoint: whole-domain waypoints, short
+            // pauses — the fleet is in motion most of the time.
+            "mobility:waypoint" | "waypoint" => Some(Dynamics::Mobility(MobilitySpec {
+                model: MobilityModel::RandomWaypoint(WaypointParams {
+                    speed_lo: 0.02,
+                    speed_hi: 0.08,
+                    pause_lo: 10,
+                    pause_hi: 60,
+                    range: 0.0,
+                }),
+                tick: 1,
+                sample_every: None,
+            })),
+            "mobility:walk" | "walk" => Some(Dynamics::Mobility(MobilitySpec {
+                model: MobilityModel::RandomWalk(WalkParams {
+                    step: 0.04,
+                    levy_alpha: 0.0,
+                    run_lo: 10,
+                    run_hi: 40,
+                    pause_lo: 5,
+                    pause_hi: 30,
+                }),
+                tick: 1,
+                sample_every: None,
+            })),
+            "mobility:levy" | "levy" => Some(Dynamics::Mobility(MobilitySpec {
+                model: MobilityModel::RandomWalk(WalkParams {
+                    step: 0.02,
+                    levy_alpha: 1.5,
+                    run_lo: 5,
+                    run_hi: 20,
+                    pause_lo: 10,
+                    pause_hi: 80,
+                }),
+                tick: 1,
+                sample_every: None,
+            })),
+            "mobility:group" | "group" => Some(Dynamics::Mobility(MobilitySpec {
+                model: MobilityModel::GroupDrift(GroupDriftParams {
+                    groups: 8,
+                    speed: 0.03,
+                    jitter: 0.01,
+                    hold: 40,
+                }),
+                tick: 1,
+                sample_every: None,
+            })),
             _ => None,
         }
     }
 
     /// Every preset name accepted by [`Dynamics::preset`], in display order.
-    pub const PRESETS: [&'static str; 5] =
-        ["static", "churn", "partition-repair", "jamming", "staggered-wake"];
+    pub const PRESETS: [&'static str; 9] = [
+        "static",
+        "churn",
+        "partition-repair",
+        "jamming",
+        "staggered-wake",
+        "mobility:waypoint",
+        "mobility:walk",
+        "mobility:levy",
+        "mobility:group",
+    ];
 
     /// Materializes the event script for one cell.
     ///
@@ -124,6 +210,9 @@ impl Dynamics {
         let n = g.n();
         match *self {
             Dynamics::Static => Vec::new(),
+            // Mobility scripts no events: the topology is derived from the
+            // moving point set instead.
+            Dynamics::Mobility(_) => Vec::new(),
             Dynamics::StaggeredWake(s) => (1..n)
                 .map(|v| {
                     let t = mix(seed ^ 0x5a5a ^ v as u64) as f64 / u64::MAX as f64;
@@ -262,13 +351,22 @@ impl RunSpec {
     }
 
     /// Structural validation that needs no registry: the family size
-    /// floor. [`Driver::run`](crate::Driver::run) calls this before
+    /// floor and the mobility × family compatibility rule.
+    /// [`Driver::run`](crate::Driver::run) calls this before
     /// instantiating anything, and separately checks the SINR position
     /// count against the **instantiated** graph (families may round `n`,
     /// so the exact count is unknowable here).
     pub fn validate(&self) -> Result<(), String> {
         if self.n < 4 {
             return Err(format!("n = {} but graph families need n >= 4", self.n));
+        }
+        if matches!(self.dynamics, Dynamics::Mobility(_)) && !self.family.has_embedding() {
+            return Err(format!(
+                "dynamics {:?} needs a geometric family with positions \
+                 (unit-disk, quasi-udg, unit-ball-3d, geo-radio); {} has no embedding",
+                self.dynamics.name(),
+                self.family.name()
+            ));
         }
         Ok(())
     }
@@ -308,6 +406,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mobility_presets_script_no_events_and_resolve_aliases() {
+        let g = Family::UnitDisk.instantiate(49, 1);
+        for name in ["mobility:waypoint", "mobility:walk", "mobility:levy", "mobility:group"] {
+            let d = Dynamics::preset(name).expect(name);
+            assert_eq!(d.name(), name);
+            assert!(d.events_for(&g, 1000, 42).is_empty(), "{name} scripted events");
+            let Dynamics::Mobility(m) = d else { panic!("{name} is not a mobility recipe") };
+            assert_eq!(m.tick, 1);
+            assert!(m.sample_every.is_none(), "{name}: driver picks the cadence");
+        }
+        // Short aliases resolve to the same recipes.
+        assert_eq!(Dynamics::preset("waypoint"), Dynamics::preset("mobility:waypoint"));
+        assert_eq!(Dynamics::preset("levy"), Dynamics::preset("mobility:levy"));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The object-safe [`Task`] abstraction: one `impl` per algorithm, all
 //! returning the unified [`TaskOutcome`].
 
-use crate::dynamics::DynamicTopology;
 use crate::spec::RunSpec;
+use crate::topology::RunTopology;
 use radionet_sim::{NetInfo, Sim};
 use serde::{Deserialize, Serialize};
 
@@ -40,7 +40,7 @@ impl TaskCtx {
 ///
 /// ```
 /// use radionet_api::{Driver, RunSpec, Task, TaskCtx, TaskOutcome, TaskRegistry};
-/// use radionet_api::dynamics::DynamicTopology;
+/// use radionet_api::topology::RunTopology;
 /// use radionet_graph::families::Family;
 /// use radionet_sim::{NetInfo, Sim};
 ///
@@ -49,7 +49,7 @@ impl TaskCtx {
 ///     fn key(&self) -> &'static str { "no-op" }
 ///     fn describe(&self) -> &'static str { "does nothing, succeeds instantly" }
 ///     fn timebase(&self, info: &NetInfo) -> u64 { info.d as u64 }
-///     fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+///     fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
 ///         TaskOutcome::Broadcast(radionet_api::task::BroadcastSummary {
 ///             completed: true,
 ///             informed_fraction: 1.0,
@@ -85,7 +85,7 @@ pub trait Task: Send + Sync {
     /// Runs the algorithm on a prepared simulator. The driver owns graph
     /// construction, event materialization, and kernel selection; the task
     /// only runs its protocol and summarizes the outcome.
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome;
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome;
 }
 
 /// Summary of a message dissemination (single- or multi-source).

@@ -14,12 +14,12 @@
 //! | `luby-mis` | Luby's LOCAL MIS reference | `Mis` |
 //! | `ghaffari-mis` | Ghaffari's LOCAL MIS reference (Alg 4) | `Mis` |
 
-use crate::dynamics::DynamicTopology;
 use crate::spec::RunSpec;
 use crate::task::{
     BroadcastSummary, ElectionSummary, MisSummary, PartitionSummary, Task, TaskCtx, TaskOutcome,
     WakeupSummary,
 };
+use crate::topology::RunTopology;
 use radionet_baselines::bgi::{run_bgi_broadcast, BgiConfig};
 use radionet_baselines::cd_wakeup::{run_cd_wakeup, CdWakeupConfig};
 use radionet_baselines::czumaj_rytter::{run_cr_broadcast, CrConfig};
@@ -61,7 +61,7 @@ impl Task for BroadcastTask {
         CompeteConfig::default().propagation_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_broadcast(sim, source, MESSAGE, &CompeteConfig::default());
@@ -89,7 +89,7 @@ impl Task for LeaderElectionTask {
         CompeteConfig::default().propagation_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_leader_election(sim, ctx.lottery_seed, &LeaderElectionConfig::default());
         let agreement = match out.leader {
@@ -124,7 +124,7 @@ impl Task for MisTask {
         c.total_steps(log_n)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
         let g = sim.graph();
         let out = run_radio_mis(sim, &MisConfig::default());
         let valid = out.is_valid(g);
@@ -162,7 +162,7 @@ impl Task for PartitionTask {
         mis + c.total_steps(partition_beta(info), info.n, info.log_n())
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
         let g = sim.graph();
         let info = *sim.info();
         let mis = run_radio_mis(sim, &MisConfig::default());
@@ -202,7 +202,7 @@ impl Task for BgiBroadcastTask {
         BgiConfig::default().budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_bgi_broadcast(sim, source, MESSAGE, &BgiConfig::default());
@@ -230,7 +230,7 @@ impl Task for CrBroadcastTask {
         CrConfig::default().budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_cr_broadcast(sim, source, MESSAGE, &CrConfig::default());
@@ -258,7 +258,7 @@ impl Task for NaiveLeaderElectionTask {
         BgiConfig::default().budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_naive_leader_election(sim, ctx.lottery_seed, &NaiveLeConfig::default());
         let agreement = match out.leader {
@@ -302,7 +302,7 @@ impl Task for CdWakeupTask {
         Ok(())
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let config = CdWakeupConfig { max_steps: ctx.capped(CdWakeupConfig::default().max_steps) };
@@ -351,7 +351,7 @@ impl Task for LubyMisTask {
         local_mis_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
         let g = sim.graph();
         let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x1b);
         let cap = ctx.capped(local_mis_budget(sim.info()));
@@ -377,7 +377,7 @@ impl Task for GhaffariMisTask {
         local_mis_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, DynamicTopology>, ctx: &TaskCtx) -> TaskOutcome {
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
         let g = sim.graph();
         let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x9f);
         let cap = ctx.capped(local_mis_budget(sim.info()));

@@ -22,12 +22,16 @@ fn corpus() -> Vec<RunSpec> {
     let mut specs = Vec::new();
 
     // One spec per task, cycling the dynamics presets so each variant
-    // appears; cd-wakeup carries its required CD reception.
+    // appears; cd-wakeup carries its required CD reception, and the
+    // mobility presets get a geometric family (they are invalid on any
+    // family without an embedding — `RunSpec::validate` enforces it).
     let registry = TaskRegistry::standard();
     for (i, key) in registry.keys().enumerate() {
         let dynamics = Dynamics::preset(Dynamics::PRESETS[i % Dynamics::PRESETS.len()]).unwrap();
+        let family =
+            if matches!(dynamics, Dynamics::Mobility(_)) { Family::UnitDisk } else { Family::Grid };
         let mut spec =
-            RunSpec::new(key, Family::Grid, 36).with_seed(1000 + i as u64).with_dynamics(dynamics);
+            RunSpec::new(key, family, 36).with_seed(1000 + i as u64).with_dynamics(dynamics);
         if key == "cd-wakeup" {
             spec = spec.with_reception(ReceptionMode::ProtocolCd);
         }

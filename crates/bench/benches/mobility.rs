@@ -1,0 +1,66 @@
+//! Criterion face-off: incremental spatial-index maintenance vs full
+//! per-tick rebuild (and the `O(n²)` brute-force oracle at a size where it
+//! is still runnable) on a dwell-heavy waypoint population — the stable
+//! measurement behind E17's ≥ 5× acceptance bar.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use radionet_bench::experiments::{dwell_heavy_waypoint as dwell_heavy, udg_geometry};
+use radionet_mobility::{IndexStrategy, MobileTopology};
+use radionet_sim::TopologyView;
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mobility_index");
+    group.sample_size(10);
+    const TICKS: u64 = 32;
+
+    // The headline pair at 20k nodes.
+    let geo = udg_geometry(20_000, 1);
+    for strategy in [IndexStrategy::Incremental, IndexStrategy::Rebuild] {
+        group.bench_function(format!("waypoint_20k_{}", strategy.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut topo =
+                        MobileTopology::new(&geo, dwell_heavy(), 1, 7).with_strategy(strategy);
+                    let base = topo.initial_graph();
+                    topo.advance_to(&base, 0);
+                    (topo, base)
+                },
+                |(mut topo, base)| {
+                    for clock in 1..=TICKS {
+                        topo.advance_to(&base, clock);
+                    }
+                    topo.current_edge_count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // All three strategies where O(n²) is still affordable.
+    let small = udg_geometry(2_000, 2);
+    for strategy in [IndexStrategy::Incremental, IndexStrategy::Rebuild, IndexStrategy::BruteForce]
+    {
+        group.bench_function(format!("waypoint_2k_{}", strategy.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut topo =
+                        MobileTopology::new(&small, dwell_heavy(), 1, 7).with_strategy(strategy);
+                    let base = topo.initial_graph();
+                    topo.advance_to(&base, 0);
+                    (topo, base)
+                },
+                |(mut topo, base)| {
+                    for clock in 1..=TICKS {
+                        topo.advance_to(&base, clock);
+                    }
+                    topo.current_edge_count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

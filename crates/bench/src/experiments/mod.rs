@@ -17,11 +17,13 @@
 //! | E14 | dynamic-network scenarios | [`e14_scenarios`] |
 //! | E15 | sparse step-kernel throughput | [`e15_throughput`] |
 //! | E16 | unified façade coverage | [`e16_facade`] |
+//! | E17 | mobility: incremental index + time-resolved α/D | [`e17_mobility`] |
 
 mod broadcast_exp;
 mod cluster_exp;
 mod facade_exp;
 mod mis_exp;
+mod mobility_exp;
 mod models_exp;
 mod primitives_exp;
 mod scenarios_exp;
@@ -31,6 +33,7 @@ pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
 pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
 pub use facade_exp::e16_facade;
 pub use mis_exp::{e10_golden_rounds, e3_mis_scaling, e4_mis_baselines};
+pub use mobility_exp::{dwell_heavy_waypoint, e17_mobility, udg_geometry};
 pub use models_exp::e13_models;
 pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
 pub use scenarios_exp::e14_scenarios;
@@ -84,6 +87,11 @@ pub const ALL: &[ExperimentDef] = &[
     ExperimentDef { id: "E14", claim: "dynamic-network scenarios", run: e14_scenarios },
     ExperimentDef { id: "E15", claim: "sparse step-kernel throughput", run: e15_throughput },
     ExperimentDef { id: "E16", claim: "unified façade coverage", run: e16_facade },
+    ExperimentDef {
+        id: "E17",
+        claim: "mobility: incremental index + time-resolved α/D",
+        run: e17_mobility,
+    },
 ];
 
 /// Looks an experiment up by id (case-insensitive).

@@ -7,11 +7,95 @@
 //! geometric classification.
 
 use crate::generators;
+use crate::geometry::{Point2, Point3};
 use crate::traversal;
 use crate::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// The deterministic edge rule a positioned geometric instance was built
+/// under — everything a mobility layer needs to *re-derive* the edge set
+/// as the point set moves.
+///
+/// The gray zone of [`GeometryRule::Quasi`] is probabilistic at generation
+/// time; consumers that re-evaluate the rule (e.g. `radionet-mobility`)
+/// realize it with a deterministic per-pair coin instead, so a moving
+/// quasi-UDG stays a pure function of `(points, rule, seed)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GeometryRule {
+    /// Edge iff `dist(u, v) ≤ radius` (unit disk / unit ball).
+    Disk {
+        /// The connection radius.
+        radius: f64,
+    },
+    /// Edge certain below `r`, impossible above `big_r`, present with
+    /// probability `gray_p` in between (quasi unit disk).
+    Quasi {
+        /// Certain-connection radius.
+        r: f64,
+        /// Maximum-connection radius (`R ≥ r`).
+        big_r: f64,
+        /// Gray-zone edge probability.
+        gray_p: f64,
+    },
+    /// Edge iff `dist(u, v) ≤ min(ranges[u], ranges[v])` (undirected
+    /// geometric radio network).
+    Radio {
+        /// Per-node transmission range.
+        ranges: Vec<f64>,
+    },
+}
+
+impl GeometryRule {
+    /// The largest distance at which any pair can be connected — the cell
+    /// width a uniform-grid spatial index needs.
+    pub fn max_radius(&self) -> f64 {
+        match self {
+            GeometryRule::Disk { radius } => *radius,
+            GeometryRule::Quasi { big_r, .. } => *big_r,
+            GeometryRule::Radio { ranges } => ranges.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The embedding of a positioned family instance: the point set, its
+/// dimension, the generation domain `[0, side)^dim`, and the edge rule.
+///
+/// Points are stored as `[x, y, z]` uniformly; 2D families set `z = 0`,
+/// so one distance routine serves both dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Geometry {
+    /// Node `i` sits at `points[i]` (2D points carry `z = 0`).
+    pub points: Vec<[f64; 3]>,
+    /// Spatial dimension: 2 or 3.
+    pub dim: u32,
+    /// Side length of the generation domain `[0, side)^dim`.
+    pub side: f64,
+    /// The edge rule relating distances to adjacency.
+    pub rule: GeometryRule,
+}
+
+/// A family instance that keeps its embedding instead of discarding it.
+///
+/// [`Family::instantiate_positioned`] returns this for every family; only
+/// the geometric families carry a [`Geometry`] (general graphs have no
+/// embedding to expose).
+#[derive(Clone, Debug)]
+pub struct Positioned {
+    /// The instantiated connected graph.
+    pub graph: Graph,
+    /// The embedding, for the geometric families; `None` otherwise.
+    pub geometry: Option<Geometry>,
+}
+
+fn points2(points: &[Point2]) -> Vec<[f64; 3]> {
+    points.iter().map(|p| [p.x, p.y, 0.0]).collect()
+}
+
+fn points3(points: &[Point3]) -> Vec<[f64; 3]> {
+    points.iter().map(|p| [p.x, p.y, p.z]).collect()
+}
 
 /// Named graph families used across the experiment suite.
 ///
@@ -120,6 +204,16 @@ impl Family {
         Family::GROWTH_BOUNDED.contains(&self)
     }
 
+    /// Whether [`Family::instantiate_positioned`] carries a [`Geometry`]
+    /// (a point embedding and edge rule) — the families the mobility
+    /// subsystem can move. Statically checkable from the family alone.
+    pub fn has_embedding(self) -> bool {
+        matches!(
+            self,
+            Family::UnitDisk | Family::QuasiUnitDisk | Family::UnitBall3 | Family::GeometricRadio
+        )
+    }
+
     /// Instantiates a connected graph with roughly `n` nodes.
     ///
     /// Geometric families retry with densified parameters until connected
@@ -130,59 +224,96 @@ impl Family {
     ///
     /// Panics if `n < 4`.
     pub fn instantiate(self, n: usize, seed: u64) -> Graph {
+        self.instantiate_positioned(n, seed).graph
+    }
+
+    /// Like [`Family::instantiate`], but keeps the embedding: geometric
+    /// families return their point set, generation domain, and edge rule
+    /// alongside the graph (general families return `geometry: None`).
+    ///
+    /// Consumes the exact same random stream as [`Family::instantiate`],
+    /// so `instantiate_positioned(n, seed).graph == instantiate(n, seed)`
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    pub fn instantiate_positioned(self, n: usize, seed: u64) -> Positioned {
         assert!(n >= 4, "families need n >= 4");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0000);
+        let plain = |graph: Graph| Positioned { graph, geometry: None };
         match self {
-            Family::Path => generators::path(n),
-            Family::Cycle => generators::cycle(n),
+            Family::Path => plain(generators::path(n)),
+            Family::Cycle => plain(generators::cycle(n)),
             Family::Grid => {
                 let side = (n as f64).sqrt().round().max(2.0) as usize;
-                generators::grid2d(side, side)
+                plain(generators::grid2d(side, side))
             }
-            Family::Clique => generators::complete(n),
-            Family::Star => generators::star(n),
+            Family::Clique => plain(generators::complete(n)),
+            Family::Star => plain(generators::star(n)),
             Family::Hypercube => {
                 let d = (n as f64).log2().round().max(2.0) as u32;
-                generators::hypercube(d)
+                plain(generators::hypercube(d))
             }
             Family::Spider => {
                 let leg = (n as f64).sqrt().round().max(1.0) as usize;
                 let legs = ((n - 1) / leg).max(1);
-                generators::spider(legs, leg)
+                plain(generators::spider(legs, leg))
             }
             Family::BinaryTree => {
                 let levels = ((n + 1) as f64).log2().round().max(2.0) as u32;
-                generators::binary_tree(levels)
+                plain(generators::binary_tree(levels))
             }
-            Family::RandomTree => generators::random_tree(n, &mut rng),
+            Family::RandomTree => plain(generators::random_tree(n, &mut rng)),
             Family::Gnp => {
                 let p = (8.0 / n as f64).min(1.0);
-                generators::connected_gnp(n, p, &mut rng)
+                plain(generators::connected_gnp(n, p, &mut rng))
             }
             Family::GnpSparse => {
                 let p = (3.0 / n as f64).min(1.0);
-                generators::connected_gnp(n, p, &mut rng)
+                plain(generators::connected_gnp(n, p, &mut rng))
             }
             Family::UnitDisk => connected_geometric(n, |rng, side| {
-                generators::unit_disk_in_square(n, side, rng).graph
+                let inst = generators::unit_disk_in_square(n, side, rng);
+                let geometry = Geometry {
+                    points: points2(&inst.points),
+                    dim: 2,
+                    side,
+                    rule: GeometryRule::Disk { radius: 1.0 },
+                };
+                (inst.graph, geometry)
             }),
             Family::QuasiUnitDisk => connected_geometric(n, |rng, side| {
-                generators::quasi_unit_disk_in_square(n, side, 0.5, 1.0, 0.5, rng).graph
+                let inst = generators::quasi_unit_disk_in_square(n, side, 0.5, 1.0, 0.5, rng);
+                let geometry = Geometry {
+                    points: points2(&inst.points),
+                    dim: 2,
+                    side,
+                    rule: GeometryRule::Quasi { r: 0.5, big_r: 1.0, gray_p: 0.5 },
+                };
+                (inst.graph, geometry)
             }),
             Family::UnitBall3 => connected_geometric3(n),
             Family::GeometricRadio => connected_geometric(n, |rng, side| {
                 let pts = generators::uniform_points2(n, side, rng);
                 let ranges = generators::geometric::uniform_ranges(n, 0.75, 1.5, rng);
-                generators::geometric_radio_undirected(&pts, &ranges).graph
+                let inst = generators::geometric_radio_undirected(&pts, &ranges);
+                let geometry = Geometry {
+                    points: points2(&inst.points),
+                    dim: 2,
+                    side,
+                    rule: GeometryRule::Radio { ranges },
+                };
+                (inst.graph, geometry)
             }),
             Family::RandomRegular => {
                 let n = if n.is_multiple_of(2) { n } else { n + 1 }; // even n·d
                 let g = generators::random::random_regular(n, 4, &mut rng);
-                generators::random::connect_components(&g, &mut rng)
+                plain(generators::random::connect_components(&g, &mut rng))
             }
             Family::ChungLu => {
                 let g = generators::random::chung_lu(n, 2.5, 6.0, &mut rng);
-                generators::random::connect_components(&g, &mut rng)
+                plain(generators::random::connect_components(&g, &mut rng))
             }
         }
     }
@@ -198,17 +329,17 @@ impl std::fmt::Display for Family {
 ///
 /// Starts at constant density (expected degree ≈ 10) and densifies by 20%
 /// per failed attempt; panics after 64 attempts (practically unreachable).
-fn connected_geometric<F>(n: usize, mut gen: F) -> Graph
+fn connected_geometric<F>(n: usize, mut gen: F) -> Positioned
 where
-    F: FnMut(&mut StdRng, f64) -> Graph,
+    F: FnMut(&mut StdRng, f64) -> (Graph, Geometry),
 {
     // Expected degree ≈ π side⁻²·n... choose side so that n·π/side² ≈ 10.
     let mut side = (n as f64 * std::f64::consts::PI / 10.0).sqrt();
     for attempt in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(geo_seed(attempt, n));
-        let g = gen(&mut rng, side);
+        let (g, geometry) = gen(&mut rng, side);
         if traversal::is_connected(&g) {
-            return g;
+            return Positioned { graph: g, geometry: Some(geometry) };
         }
         side *= 0.8;
     }
@@ -219,13 +350,19 @@ fn geo_seed(attempt: u64, n: usize) -> u64 {
     attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (n as u64)
 }
 
-fn connected_geometric3(n: usize) -> Graph {
+fn connected_geometric3(n: usize) -> Positioned {
     let mut side = (n as f64 * 4.19 / 12.0).cbrt(); // 4/3·π ≈ 4.19, degree ≈ 12
     for attempt in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(geo_seed(attempt, n) ^ 0x3d);
-        let g = generators::geometric::unit_ball3_in_cube(n, side, &mut rng).graph;
-        if traversal::is_connected(&g) {
-            return g;
+        let inst = generators::geometric::unit_ball3_in_cube(n, side, &mut rng);
+        if traversal::is_connected(&inst.graph) {
+            let geometry = Geometry {
+                points: points3(&inst.points),
+                dim: 3,
+                side,
+                rule: GeometryRule::Disk { radius: 1.0 },
+            };
+            return Positioned { graph: inst.graph, geometry: Some(geometry) };
         }
         side *= 0.8;
     }
@@ -275,6 +412,82 @@ mod tests {
     fn display_matches_name() {
         for fam in Family::ALL {
             assert_eq!(fam.to_string(), fam.name());
+        }
+    }
+
+    /// The geometric families of the mobility subsystem.
+    const POSITIONED: [Family; 4] =
+        [Family::UnitDisk, Family::QuasiUnitDisk, Family::UnitBall3, Family::GeometricRadio];
+
+    #[test]
+    fn positioned_graph_is_byte_identical_to_instantiate() {
+        for fam in Family::ALL {
+            let a = fam.instantiate(72, 5);
+            let b = fam.instantiate_positioned(72, 5);
+            assert_eq!(a, b.graph, "{fam}: positioned path diverged");
+            assert_eq!(b.geometry.is_some(), POSITIONED.contains(&fam), "{fam}");
+            assert_eq!(fam.has_embedding(), b.geometry.is_some(), "{fam}: has_embedding lies");
+        }
+    }
+
+    #[test]
+    fn positioned_geometry_is_well_formed() {
+        for fam in POSITIONED {
+            let p = fam.instantiate_positioned(64, 2);
+            let geo = p.geometry.expect("geometric family carries geometry");
+            assert_eq!(geo.points.len(), p.graph.n(), "{fam}: one point per node");
+            assert!(geo.side > 0.0);
+            assert!(geo.rule.max_radius() > 0.0);
+            assert!(matches!(geo.dim, 2 | 3));
+            for pt in &geo.points {
+                for (axis, &c) in pt.iter().enumerate() {
+                    if axis < geo.dim as usize {
+                        assert!((0.0..geo.side).contains(&c), "{fam}: point outside domain");
+                    } else {
+                        assert_eq!(c, 0.0, "{fam}: unused axis must be zero");
+                    }
+                }
+            }
+            if let GeometryRule::Radio { ranges } = &geo.rule {
+                assert_eq!(ranges.len(), p.graph.n());
+            }
+        }
+    }
+
+    #[test]
+    fn positioned_rule_reproduces_deterministic_edges() {
+        // For the deterministic rules (disk, ball, radio) the recorded
+        // geometry must re-derive exactly the generated edge set; for the
+        // quasi family it must bracket it (certain ⊆ edges ⊆ possible).
+        fn dist(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+        }
+        for fam in POSITIONED {
+            let p = fam.instantiate_positioned(60, 9);
+            let geo = p.geometry.unwrap();
+            let g = &p.graph;
+            for i in 0..g.n() {
+                for j in (i + 1)..g.n() {
+                    let d = dist(&geo.points[i], &geo.points[j]);
+                    let has = g.has_edge(g.node(i), g.node(j));
+                    match &geo.rule {
+                        GeometryRule::Disk { radius } => {
+                            assert_eq!(has, d <= *radius, "{fam}: edge {i}-{j}")
+                        }
+                        GeometryRule::Quasi { r, big_r, .. } => {
+                            if d <= *r {
+                                assert!(has, "{fam}: certain edge {i}-{j} missing");
+                            }
+                            if d > *big_r {
+                                assert!(!has, "{fam}: impossible edge {i}-{j} present");
+                            }
+                        }
+                        GeometryRule::Radio { ranges } => {
+                            assert_eq!(has, d <= ranges[i].min(ranges[j]), "{fam}: edge {i}-{j}")
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -117,6 +117,44 @@ impl Scenario {
             mk("udg-jammed-mis", Family::UnitDisk, Workload::Mis, jam),
         ]
     }
+
+    /// The mobility scenarios: geometric families whose topology is
+    /// derived from a *moving* point set (`radionet-mobility`).
+    ///
+    /// Kept separate from [`Scenario::catalogue`] because the frozen
+    /// pre-façade reference pipeline (`run_cell_reference`) predates
+    /// mobility and is pinned byte-for-byte against that list only; the
+    /// mobility cells run purely through the façade.
+    pub fn mobility_catalogue() -> Vec<Scenario> {
+        let mk = |name: &str, family, workload, dynamics| Scenario {
+            name: name.to_string(),
+            family,
+            workload,
+            reception: ReceptionMode::Protocol,
+            dynamics,
+        };
+        let preset = |name: &str| Dynamics::preset(name).expect("standard mobility preset");
+        vec![
+            mk("udg-waypoint", Family::UnitDisk, Workload::Broadcast, preset("mobility:waypoint")),
+            mk("udg-levy", Family::UnitDisk, Workload::Broadcast, preset("mobility:levy")),
+            mk("quasi-walk", Family::QuasiUnitDisk, Workload::Broadcast, preset("mobility:walk")),
+            mk("ball3-group", Family::UnitBall3, Workload::Broadcast, preset("mobility:group")),
+            mk(
+                "georadio-waypoint-mis",
+                Family::GeometricRadio,
+                Workload::Mis,
+                preset("mobility:waypoint"),
+            ),
+        ]
+    }
+
+    /// Scripted catalogue plus the mobility scenarios — what the CLI
+    /// sweeps by default.
+    pub fn extended_catalogue() -> Vec<Scenario> {
+        let mut all = Self::catalogue();
+        all.extend(Self::mobility_catalogue());
+        all
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +182,31 @@ mod tests {
                 "catalogue misses {required}"
             );
         }
+    }
+
+    #[test]
+    fn extended_catalogue_adds_every_mobility_preset() {
+        let cat = Scenario::extended_catalogue();
+        let base = Scenario::catalogue();
+        assert_eq!(cat.len(), base.len() + Scenario::mobility_catalogue().len());
+        for required in ["mobility:waypoint", "mobility:walk", "mobility:levy", "mobility:group"] {
+            assert!(
+                cat.iter().any(|s| s.dynamics.name() == required),
+                "extended catalogue misses {required}"
+            );
+        }
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "duplicate scenario names");
+        // Mobility scenarios must stay on families with an embedding
+        // (growth-bounded is not enough: Path/Grid have no positions).
+        for sc in Scenario::mobility_catalogue() {
+            assert!(sc.family.has_embedding(), "{} has no point embedding", sc.name);
+        }
+        let json = serde_json::to_string_pretty(&cat).unwrap();
+        let back: Vec<Scenario> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cat);
     }
 
     #[test]

@@ -27,6 +27,24 @@ fn catalogue_cells_agree_across_kernels() {
     }
 }
 
+/// The mobility scenarios (topology derived from a moving point set): the
+/// sparse active-set kernel must reproduce the dense reference bit-for-bit
+/// on `MobileTopology` too.
+#[test]
+fn mobility_cells_agree_across_kernels() {
+    let config = SweepConfig {
+        scenarios: Scenario::mobility_catalogue(),
+        sizes: vec![36],
+        seeds: 1,
+        base_seed: 0x30b,
+    };
+    for spec in config.cells() {
+        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
+        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        assert_eq!(sparse, dense, "kernel divergence in mobility cell {:?}", spec.scenario.name);
+    }
+}
+
 /// Collision-detection reception over the dynamic scenarios (the catalogue
 /// presets are all protocol-model; clone them onto CD).
 #[test]

@@ -51,7 +51,9 @@ RUN OPTIONS:
   --reception MODE    protocol | protocol+cd       [default: protocol]
   --kernel K          sparse | dense               [default: sparse]
   --dynamics NAME     static | churn | partition-repair | jamming |
-                      staggered-wake (standard presets)  [default: static]
+                      staggered-wake | mobility:waypoint | mobility:walk |
+                      mobility:levy | mobility:group (standard presets;
+                      mobility needs a geometric --family)  [default: static]
   --steps N           optional step-budget cap
   --compact           compact JSON instead of pretty
   --out FILE          write to FILE instead of stdout
@@ -263,7 +265,7 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut scenarios = Scenario::catalogue();
+    let mut scenarios = Scenario::extended_catalogue();
     if !names.is_empty() {
         for name in &names {
             if !scenarios.iter().any(|s| &s.name == name) {
@@ -323,7 +325,7 @@ fn cmd_list_tasks(rest: &[String]) -> Result<(), String> {
 fn cmd_catalogue(rest: &[String]) -> Result<(), String> {
     match rest {
         [] => {
-            let cat = Scenario::catalogue();
+            let cat = Scenario::extended_catalogue();
             println!("{}", serde_json::to_string_pretty(&cat).map_err(|e| e.to_string())?);
             Ok(())
         }
