@@ -9,7 +9,7 @@ use crate::spec::{Dynamics, RunSpec};
 use crate::task::{TaskCtx, TaskOutcome};
 use crate::topology::RunTopology;
 use radionet_mobility::{MobileTopology, MobilityTrace};
-use radionet_sim::{NetInfo, Sim, SimStats};
+use radionet_sim::{NetInfo, PositionSource, ReceptionMode, Sim, SimStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -135,15 +135,12 @@ impl Driver {
 
         // Mobility derives the topology from the moving point set; every
         // scripted recipe (static is an empty script) uses the overlay.
-        let (g, info, topo, n_events) = match &spec.dynamics {
+        // Both arms instantiate *positioned* (same random stream as
+        // `instantiate`, pinned by the families tests), so a
+        // `PositionSource::Geometry` SINR spec can be resolved from the
+        // family's own embedding without hand-shipped coordinates.
+        let (g, info, topo, n_events, reception) = match &spec.dynamics {
             Dynamics::Mobility(m) => {
-                if matches!(spec.reception, radionet_sim::ReceptionMode::Sinr(_)) {
-                    return Err(RunError::InvalidSpec(
-                        "mobility moves node positions, but SINR reception carries a fixed \
-                         position table; use protocol-model reception"
-                            .into(),
-                    ));
-                }
                 let positioned =
                     spec.family.instantiate_positioned(spec.n, seeds::graph_seed(spec.seed));
                 // `spec.validate()` above already rejected families without
@@ -171,26 +168,62 @@ impl Driver {
                     Some(every) => Some(every),
                 };
                 mobile.set_sample_every(cadence);
-                (g, info, RunTopology::Mobile(mobile), 0usize)
+                // SINR over mobility reads the live moving point set each
+                // step (`validate()` already rejected a frozen snapshot).
+                let reception = match spec.reception.clone() {
+                    ReceptionMode::Sinr(mut cfg) => {
+                        cfg.positions = PositionSource::Live;
+                        ReceptionMode::Sinr(cfg)
+                    }
+                    other => other,
+                };
+                (g, info, RunTopology::Mobile(mobile), 0usize, reception)
             }
             _ => {
-                let g = spec.family.instantiate(spec.n, seeds::graph_seed(spec.seed));
-                // SINR needs exactly one position per node of the
+                let positioned =
+                    spec.family.instantiate_positioned(spec.n, seeds::graph_seed(spec.seed));
+                let g = positioned.graph;
+                // Resolve the SINR position source against the
                 // *instantiated* graph (families may round the requested
-                // n), so the count can only be checked here — the engine
-                // asserts on a mismatch.
-                if let radionet_sim::ReceptionMode::Sinr(cfg) = &spec.reception {
-                    if cfg.positions.len() != g.n() {
-                        return Err(RunError::InvalidSpec(format!(
-                            "SINR reception carries {} positions but {} instantiates {} nodes \
-                             (requested n = {})",
-                            cfg.positions.len(),
-                            spec.family.name(),
-                            g.n(),
-                            spec.n
-                        )));
+                // n, so counts are only checkable here); `Geometry`
+                // becomes a snapshot of the family's own embedding.
+                let reception = match spec.reception.clone() {
+                    ReceptionMode::Sinr(mut cfg) => {
+                        match cfg.positions {
+                            PositionSource::Snapshot(ref points) => {
+                                if points.len() != g.n() {
+                                    return Err(RunError::InvalidSpec(format!(
+                                        "SINR reception carries {} positions but {} \
+                                         instantiates {} nodes (requested n = {})",
+                                        points.len(),
+                                        spec.family.name(),
+                                        g.n(),
+                                        spec.n
+                                    )));
+                                }
+                            }
+                            PositionSource::Geometry => {
+                                // `spec.validate()` above already rejected
+                                // Geometry sources on families without an
+                                // embedding (`has_embedding` ⇔ geometry
+                                // present, pinned by the families tests).
+                                let geometry = positioned.geometry.expect(
+                                    "validate() guarantees an embedding for \
+                                     geometry-sourced SINR specs",
+                                );
+                                cfg.positions = PositionSource::Snapshot(geometry.points);
+                            }
+                            PositionSource::Live => {
+                                unreachable!(
+                                    "validate() rejects live SINR positions without \
+                                     mobility dynamics"
+                                )
+                            }
+                        }
+                        ReceptionMode::Sinr(cfg)
                     }
-                }
+                    other => other,
+                };
                 let info = NetInfo::exact(&g);
                 let events = spec.dynamics.events_for(
                     &g,
@@ -199,11 +232,11 @@ impl Driver {
                 );
                 let n_events = events.len();
                 let topo = RunTopology::Scripted(DynamicTopology::new(&g, events));
-                (g, info, topo, n_events)
+                (g, info, topo, n_events, reception)
             }
         };
-        let mut sim =
-            Sim::with_topology(&g, topo, info, seeds::sim_seed(spec.seed), spec.reception.clone());
+        let mut sim = Sim::try_with_topology(&g, topo, info, seeds::sim_seed(spec.seed), reception)
+            .map_err(|e| RunError::InvalidSpec(e.to_string()))?;
         sim.set_kernel(spec.kernel);
 
         let ctx = TaskCtx {
@@ -351,6 +384,58 @@ mod tests {
         let err = Driver::standard().run(&spec).unwrap_err();
         assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
         assert!(err.to_string().contains("36 nodes"), "{err}");
+    }
+
+    #[test]
+    fn sinr_geometry_source_resolves_from_the_family_embedding() {
+        use radionet_sim::SinrConfig;
+        // No hand-shipped coordinates: the driver materializes the point
+        // set the family generated (works even though UnitDisk may round
+        // or retry — the count always matches by construction).
+        let spec = RunSpec::new("broadcast", Family::UnitDisk, 48)
+            .with_seed(5)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+        let report = Driver::standard().run(&spec).unwrap();
+        assert!(report.success, "geometry-calibrated SINR broadcast on a UDG completes");
+        assert!(report.stats.deliveries > 0);
+        assert_eq!(report.stats.kernel_fallbacks, 0, "sparse SINR must not fall back");
+        assert_eq!(report.spec, spec, "resolution must not leak into the echoed spec");
+    }
+
+    #[test]
+    fn sinr_geometry_source_needs_an_embedding() {
+        use radionet_sim::SinrConfig;
+        let spec = RunSpec::new("broadcast", Family::Hypercube, 64)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+        let err = Driver::standard().run(&spec).unwrap_err();
+        assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
+        assert!(err.to_string().contains("embedding"), "{err}");
+    }
+
+    #[test]
+    fn sinr_live_source_needs_mobility() {
+        use radionet_sim::{PositionSource, SinrConfig};
+        let spec = RunSpec::new("broadcast", Family::UnitDisk, 48).with_reception(
+            ReceptionMode::Sinr(SinrConfig::for_unit_range(PositionSource::Live, 1.0)),
+        );
+        let err = Driver::standard().run(&spec).unwrap_err();
+        assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
+        assert!(err.to_string().contains("mobility"), "{err}");
+    }
+
+    #[test]
+    fn sinr_kernels_identical_on_static_geometry() {
+        use radionet_sim::{Kernel, SinrConfig};
+        let driver = Driver::standard();
+        let spec = RunSpec::new("broadcast", Family::UnitDisk, 64)
+            .with_seed(7)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+        let sparse = driver.run(&spec.clone().with_kernel(Kernel::Sparse)).unwrap();
+        let dense = driver.run(&spec.with_kernel(Kernel::Dense)).unwrap();
+        assert_eq!(sparse.outcome, dense.outcome);
+        assert_eq!(sparse.stats.deliveries, dense.stats.deliveries);
+        assert_eq!(sparse.stats.collisions, dense.stats.collisions);
+        assert_eq!(sparse.rng_fingerprint, dense.rng_fingerprint);
     }
 
     #[test]

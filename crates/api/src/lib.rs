@@ -29,7 +29,7 @@
 //!   the scripted overlay or a
 //!   [`MobileTopology`](radionet_mobility::MobileTopology) whose edges
 //!   are re-derived from moving geometry
-//!   ([`Dynamics::Mobility`](spec::Dynamics::Mobility) recipes);
+//!   ([`Dynamics::Mobility`] recipes);
 //! * [`seeds`] — the shared deterministic seed derivation: identical specs
 //!   produce bit-identical reports anywhere.
 //!

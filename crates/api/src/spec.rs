@@ -8,7 +8,7 @@ use crate::seeds::mix;
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
 use radionet_mobility::{GroupDriftParams, MobilityModel, WalkParams, WaypointParams};
-use radionet_sim::{Kernel, ReceptionMode};
+use radionet_sim::{Kernel, PositionSource, ReceptionMode};
 use serde::{Deserialize, Serialize};
 
 /// Staggered (asynchronous) wake-up: every node except 0 wakes at a
@@ -351,7 +351,8 @@ impl RunSpec {
     }
 
     /// Structural validation that needs no registry: the family size
-    /// floor and the mobility × family compatibility rule.
+    /// floor, the mobility × family compatibility rule, and the
+    /// SINR position-source × dynamics compatibility rules.
     /// [`Driver::run`](crate::Driver::run) calls this before
     /// instantiating anything, and separately checks the SINR position
     /// count against the **instantiated** graph (families may round `n`,
@@ -360,13 +361,40 @@ impl RunSpec {
         if self.n < 4 {
             return Err(format!("n = {} but graph families need n >= 4", self.n));
         }
-        if matches!(self.dynamics, Dynamics::Mobility(_)) && !self.family.has_embedding() {
+        let mobility = matches!(self.dynamics, Dynamics::Mobility(_));
+        if mobility && !self.family.has_embedding() {
             return Err(format!(
                 "dynamics {:?} needs a geometric family with positions \
                  (unit-disk, quasi-udg, unit-ball-3d, geo-radio); {} has no embedding",
                 self.dynamics.name(),
                 self.family.name()
             ));
+        }
+        if let ReceptionMode::Sinr(cfg) = &self.reception {
+            cfg.validate()?;
+            match cfg.positions {
+                PositionSource::Snapshot(_) if mobility => {
+                    return Err("mobility moves node positions, but the SINR reception carries a \
+                         fixed position snapshot; use the geometry or live position source \
+                         so reception follows the moving point set"
+                        .into());
+                }
+                PositionSource::Live if !mobility => {
+                    return Err("live SINR positions follow a moving point set; they require \
+                         mobility dynamics (static and scripted runs use geometry-sourced \
+                         or snapshot positions)"
+                        .into());
+                }
+                PositionSource::Geometry if !self.family.has_embedding() => {
+                    return Err(format!(
+                        "SINR geometry-sourced positions need a geometric family with an \
+                         embedding (unit-disk, quasi-udg, unit-ball-3d, geo-radio); {} has \
+                         none — supply an explicit position snapshot",
+                        self.family.name()
+                    ));
+                }
+                _ => {}
+            }
         }
         Ok(())
     }

@@ -16,6 +16,12 @@ use radionet_mobility::MobileTopology;
 use radionet_sim::TopologyView;
 
 /// The driver's unified topology: one of the two run-time views.
+///
+/// One value exists per run and lives for the whole run, so the size gap
+/// between the two variants costs one oversized stack slot, not a hot-path
+/// indirection (boxing the mobile arm would put a pointer chase inside
+/// every `neighbors` call instead).
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum RunTopology {
     /// The event-scripted overlay (static runs use an empty script).
@@ -96,6 +102,22 @@ impl TopologyView for RunTopology {
         match self {
             RunTopology::Scripted(t) => t.jammed_nodes(),
             RunTopology::Mobile(t) => t.jammed_nodes(),
+        }
+    }
+
+    fn positions(&self) -> Option<&[[f64; 3]]> {
+        match self {
+            // Qualified: `MobileTopology` also has an inherent
+            // `positions()` (infallible) that would shadow the trait's.
+            RunTopology::Scripted(t) => TopologyView::positions(t),
+            RunTopology::Mobile(t) => TopologyView::positions(t),
+        }
+    }
+
+    fn positions_version(&self) -> u64 {
+        match self {
+            RunTopology::Scripted(t) => t.positions_version(),
+            RunTopology::Mobile(t) => t.positions_version(),
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use radionet_api::{Driver, Dynamics, MobilitySpec, RunError, RunSpec};
 use radionet_graph::families::Family;
-use radionet_sim::{Kernel, ReceptionMode, SinrConfig};
+use radionet_sim::{Kernel, PositionSource, ReceptionMode, SinrConfig};
 
 const MOBILITY_PRESETS: [&str; 4] =
     ["mobility:waypoint", "mobility:walk", "mobility:levy", "mobility:group"];
@@ -59,11 +59,75 @@ fn mobility_rejects_non_geometric_families() {
 }
 
 #[test]
-fn mobility_rejects_sinr_reception() {
+fn mobility_rejects_frozen_sinr_snapshots() {
+    // A fixed position table cannot track moving nodes; only the frozen
+    // snapshot source is rejected — geometry/live SINR runs end-to-end.
     let spec = mobile_spec("mobility:waypoint", Family::UnitDisk, 0)
         .with_reception(ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![(0.0, 0.0); 48], 1.0)));
     let err = Driver::standard().run(&spec);
-    assert!(matches!(err, Err(RunError::InvalidSpec(_))), "{err:?}");
+    match err {
+        Err(RunError::InvalidSpec(why)) => {
+            assert!(why.contains("snapshot"), "unhelpful error: {why}")
+        }
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+}
+
+#[test]
+fn mobility_accepts_sinr_reception_end_to_end() {
+    // The geometry-native SINR path: positions re-read from the moving
+    // point set each step, across every mobility preset and geometric
+    // family, with a time-resolved trace and physical-layer activity.
+    let driver = Driver::standard();
+    for source in [PositionSource::Geometry, PositionSource::Live] {
+        let spec = mobile_spec("mobility:waypoint", Family::UnitDisk, 3)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::for_unit_range(source.clone(), 1.0)));
+        let report = driver.run(&spec).unwrap_or_else(|e| panic!("{source:?}: {e}"));
+        assert_eq!(report.spec, spec, "{source:?}");
+        assert!(report.mobility.is_some(), "{source:?}: mobility trace missing");
+        assert!(report.stats.deliveries > 0, "{source:?}: nothing was delivered under SINR");
+        assert_eq!(report.stats.kernel_fallbacks, 0, "{source:?}: sparse SINR must not fall back");
+    }
+    for family in
+        [Family::UnitDisk, Family::QuasiUnitDisk, Family::UnitBall3, Family::GeometricRadio]
+    {
+        for preset in MOBILITY_PRESETS {
+            let spec = mobile_spec(preset, family, 9)
+                .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+            let report = driver.run(&spec).unwrap_or_else(|e| panic!("{family}/{preset}: {e}"));
+            assert!(report.clock_total > 0, "{family}/{preset}");
+            assert!(report.mobility.unwrap().stats.ticks > 0, "{family}/{preset}");
+        }
+    }
+}
+
+#[test]
+fn mobility_sinr_kernels_are_byte_identical() {
+    // Moving positions + physical reception, sparse vs dense: the
+    // spatially-indexed SINR kernel must reproduce the dense reference
+    // bit-for-bit under the default Exact far-field policy.
+    let driver = Driver::standard();
+    for preset in MOBILITY_PRESETS {
+        let spec = mobile_spec(preset, Family::UnitDisk, 31)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+        let sparse = driver.run(&spec.clone().with_kernel(Kernel::Sparse)).unwrap();
+        let dense = driver.run(&spec.clone().with_kernel(Kernel::Dense)).unwrap();
+        assert_eq!(sparse.outcome, dense.outcome, "{preset}");
+        assert_eq!(sparse.stats.deliveries, dense.stats.deliveries, "{preset}");
+        assert_eq!(sparse.stats.collisions, dense.stats.collisions, "{preset}");
+        assert_eq!(sparse.rng_fingerprint, dense.rng_fingerprint, "{preset}");
+        assert_eq!(sparse.mobility, dense.mobility, "{preset}");
+    }
+}
+
+#[test]
+fn mobility_sinr_is_deterministic() {
+    let driver = Driver::standard();
+    let spec = mobile_spec("mobility:levy", Family::UnitDisk, 13)
+        .with_reception(ReceptionMode::Sinr(SinrConfig::geometric()));
+    let a = driver.run(&spec).unwrap();
+    let b = driver.run(&spec).unwrap();
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -10,7 +10,7 @@
 
 use radionet_api::{Driver, Dynamics, RunSpec, TaskRegistry};
 use radionet_graph::families::Family;
-use radionet_sim::{Kernel, ReceptionMode, SinrConfig};
+use radionet_sim::{FarFieldPolicy, Kernel, PositionSource, ReceptionMode, SinrConfig};
 
 const FIXTURE: &str = include_str!("fixtures/specs.json");
 const FIXTURE_PATH: &str = "tests/fixtures/specs.json";
@@ -38,13 +38,30 @@ fn corpus() -> Vec<RunSpec> {
         specs.push(spec);
     }
 
-    // Each reception mode, including a fully populated SINR config.
+    // Each reception mode, including a fully populated SINR config — and
+    // every SINR position source: an explicit snapshot, the family's own
+    // embedding (geometry-sourced), and the live moving point set of a
+    // mobility run (with a non-default far-field policy).
     specs.push(RunSpec::new("broadcast", Family::UnitDisk, 4).with_seed(7).with_reception(
         ReceptionMode::Sinr(SinrConfig::for_unit_range(
             vec![(0.0, 0.0), (1.0, 0.0), (0.5, 0.5), (0.25, 0.75)],
             1.0,
         )),
     ));
+    specs.push(
+        RunSpec::new("broadcast", Family::UnitDisk, 36)
+            .with_seed(11)
+            .with_reception(ReceptionMode::Sinr(SinrConfig::geometric())),
+    );
+    specs.push(
+        RunSpec::new("broadcast", Family::UnitDisk, 36)
+            .with_seed(12)
+            .with_dynamics(Dynamics::preset("mobility:waypoint").unwrap())
+            .with_reception(ReceptionMode::Sinr(
+                SinrConfig::for_unit_range(PositionSource::Live, 1.0)
+                    .with_far_field(FarFieldPolicy::Cutoff(0.125)),
+            )),
+    );
     specs.push(
         RunSpec::new("bgi-broadcast", Family::Cycle, 24)
             .with_seed(8)

@@ -18,6 +18,7 @@
 //! | E15 | sparse step-kernel throughput | [`e15_throughput`] |
 //! | E16 | unified façade coverage | [`e16_facade`] |
 //! | E17 | mobility: incremental index + time-resolved α/D | [`e17_mobility`] |
+//! | E18 | geometry-native SINR: sparse vs dense reception | [`e18_sinr`] |
 
 mod broadcast_exp;
 mod cluster_exp;
@@ -27,6 +28,7 @@ mod mobility_exp;
 mod models_exp;
 mod primitives_exp;
 mod scenarios_exp;
+mod sinr_exp;
 mod throughput_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
@@ -37,6 +39,7 @@ pub use mobility_exp::{dwell_heavy_waypoint, e17_mobility, udg_geometry};
 pub use models_exp::e13_models;
 pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
 pub use scenarios_exp::e14_scenarios;
+pub use sinr_exp::e18_sinr;
 pub use throughput_exp::e15_throughput;
 
 use radionet_analysis::ExperimentRecord;
@@ -91,6 +94,11 @@ pub const ALL: &[ExperimentDef] = &[
         id: "E17",
         claim: "mobility: incremental index + time-resolved α/D",
         run: e17_mobility,
+    },
+    ExperimentDef {
+        id: "E18",
+        claim: "geometry-native SINR: sparse spatial-index kernel vs dense reference",
+        run: e18_sinr,
     },
 ];
 

@@ -12,6 +12,9 @@
 //!   combined into [`independent_set::AlphaBounds`] (the paper's `α`);
 //! * [`geometry`] — points and metrics (Euclidean, Chebyshev, Manhattan,
 //!   torus) used by the geometric graph classes of Section 1.3 of the paper;
+//! * [`spatial`] — [`spatial::SpatialGrid`], a uniform-grid spatial index
+//!   shared by the mobility subsystem (incremental derived adjacency) and
+//!   the simulator's sparse SINR reception kernel;
 //! * [`generators`] — every graph family the paper names: unit disk, quasi
 //!   unit disk, unit ball over arbitrary metrics, undirected geometric radio
 //!   networks, plus the classic and random general-graph families used as
@@ -48,6 +51,7 @@ pub mod generators;
 pub mod geometry;
 pub mod granularity;
 pub mod independent_set;
+pub mod spatial;
 pub mod traversal;
 
 pub use builder::GraphBuilder;

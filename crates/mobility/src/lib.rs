@@ -11,7 +11,9 @@
 //!   pure function of `(model, seed)` through per-node RNG streams.
 //! * [`grid`] — [`SpatialGrid`], a uniform-grid spatial index with cell
 //!   width ≥ the interaction radius, so the candidate neighbors of a point
-//!   are exactly the 3^dim surrounding cells.
+//!   are exactly the 3^dim surrounding cells (re-exported from
+//!   [`radionet_graph::spatial`], where it is shared with the simulator's
+//!   sparse SINR reception kernel).
 //! * [`topology`] — [`MobileTopology`], a
 //!   [`TopologyView`](radionet_sim::TopologyView) whose adjacency is
 //!   **derived from the evolving geometry** rather than scripted edge
@@ -49,12 +51,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod grid;
 pub mod model;
 pub mod topology;
 
-pub use grid::SpatialGrid;
 pub use model::{GroupDriftParams, MobilityModel, Motion, WalkParams, WaypointParams};
+/// The uniform-grid spatial index, re-exported from `radionet_graph`
+/// (moved there so the simulator's sparse SINR kernel can share it
+/// without a dependency cycle; the legacy `radionet_mobility::grid` path
+/// keeps working).
+pub use radionet_graph::spatial as grid;
+pub use radionet_graph::spatial::SpatialGrid;
 pub use topology::{
     IndexStrategy, MobileTopology, MobilitySample, MobilityStats, MobilityTrace, TRACE_CAP,
 };

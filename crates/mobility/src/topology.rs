@@ -122,6 +122,10 @@ pub struct MobileTopology {
     adj: Vec<Vec<NodeId>>,
     strategy: IndexStrategy,
     last_clock: Option<u64>,
+    /// Bumped every time at least one node actually moves — the engine's
+    /// cheap invalidation signal for caches keyed on the positions (the
+    /// sparse SINR kernel rebuilds its own decode-range grid on a bump).
+    motion_epoch: u64,
     moved: Vec<u32>,
     moved_mark: Vec<bool>,
     row_scratch: Vec<NodeId>,
@@ -170,6 +174,7 @@ impl MobileTopology {
             adj: vec![Vec::new(); n],
             strategy: IndexStrategy::default(),
             last_clock: None,
+            motion_epoch: 0,
             moved: Vec::new(),
             moved_mark: vec![false; n],
             row_scratch: Vec::new(),
@@ -474,6 +479,7 @@ impl TopologyView for MobileTopology {
             }
             self.moved.truncate(w);
             if !self.moved.is_empty() {
+                self.motion_epoch += 1;
                 match self.strategy {
                     IndexStrategy::Incremental => self.incremental_update(),
                     IndexStrategy::Rebuild => {
@@ -510,6 +516,16 @@ impl TopologyView for MobileTopology {
     /// change feed is exact and the sparse kernel applies unmodified.
     fn supports_change_feed(&self) -> bool {
         true
+    }
+
+    /// The live moving point set — what `PositionSource::Live` SINR
+    /// reception reads each step.
+    fn positions(&self) -> Option<&[[f64; 3]]> {
+        Some(&self.pos)
+    }
+
+    fn positions_version(&self) -> u64 {
+        self.motion_epoch
     }
 }
 
@@ -665,5 +681,33 @@ mod tests {
     fn zero_tick_rejected() {
         let p = Family::UnitDisk.instantiate_positioned(16, 0);
         let _ = MobileTopology::new(&p.geometry.unwrap(), waypoint(), 0, 0);
+    }
+
+    #[test]
+    fn position_feed_versions_track_actual_motion() {
+        // The TopologyView position feed: present, one point per node,
+        // and the version stamp bumps exactly when something moved.
+        let (g, mut topo) = udg_topo(48, 8);
+        let feed = TopologyView::positions(&topo).expect("mobile views carry positions");
+        assert_eq!(feed.len(), g.n());
+        assert_eq!(topo.positions_version(), 0);
+        topo.advance_to(&g, 0); // baseline call moves nothing
+        assert_eq!(topo.positions_version(), 0);
+        let mut last = 0;
+        for clock in 1..=30u64 {
+            topo.advance_to(&g, clock);
+            let v = topo.positions_version();
+            assert!(v >= last, "version must be monotone");
+            last = v;
+        }
+        assert!(last > 0, "30 waypoint ticks must bump the version");
+
+        // A frozen model never bumps it.
+        let p = Family::UnitDisk.instantiate_positioned(32, 3);
+        let mut frozen = MobileTopology::new(&p.geometry.unwrap(), MobilityModel::Static, 1, 3);
+        for clock in 0..20u64 {
+            frozen.advance_to(&p.graph, clock);
+        }
+        assert_eq!(frozen.positions_version(), 0);
     }
 }

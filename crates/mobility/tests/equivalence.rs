@@ -14,7 +14,10 @@ use radionet_graph::Graph;
 use radionet_mobility::{
     GroupDriftParams, IndexStrategy, MobileTopology, MobilityModel, WalkParams, WaypointParams,
 };
-use radionet_sim::{Action, Kernel, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView};
+use radionet_sim::{
+    Action, Kernel, NetInfo, NodeCtx, PositionSource, Protocol, ReceptionMode, Sim, SinrConfig,
+    TopologyView,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -193,6 +196,36 @@ proptest! {
         let budget = 40;
         let sparse = run_kernel(&geo, model, Kernel::Sparse, reception.clone(), seed, budget);
         let dense = run_kernel(&geo, model, Kernel::Dense, reception, seed, budget);
+        prop_assert_eq!(sparse.0, dense.0, "PhaseReports differ");
+        prop_assert_eq!(sparse.1, dense.1, "RNG fingerprints differ");
+        prop_assert_eq!(sparse.2, dense.2, "protocol state differs");
+    }
+
+    /// SINR reception over the *live* moving point set: the sparse
+    /// kernel's spatially-indexed physical resolution must match the
+    /// dense reference bit-for-bit while the positions (and therefore
+    /// its decode-range grid) change underneath it — across 2D and 3D
+    /// geometries and every mobility model.
+    #[test]
+    fn sinr_kernels_agree_on_mobile_topology(
+        n in 16usize..56,
+        model_kind in 0u8..4,
+        dim3 in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let dim = if dim3 { 3 } else { 2 };
+        let side = if dim3 {
+            (n as f64 / 2.0).cbrt() * 1.6
+        } else {
+            (n as f64 / 3.0).sqrt() * 1.5
+        };
+        let geo = uniform_geometry(n, dim, side, GeometryRule::Disk { radius: 1.0 }, seed ^ 0x2e);
+        let model = model_for(model_kind);
+        let reception = ReceptionMode::Sinr(SinrConfig::for_unit_range(PositionSource::Live, 1.0));
+        let budget = 40;
+        let sparse = run_kernel(&geo, model, Kernel::Sparse, reception.clone(), seed, budget);
+        let dense = run_kernel(&geo, model, Kernel::Dense, reception, seed, budget);
+        prop_assert_eq!(sparse.0.fell_back, false, "live SINR must run sparse");
         prop_assert_eq!(sparse.0, dense.0, "PhaseReports differ");
         prop_assert_eq!(sparse.1, dense.1, "RNG fingerprints differ");
         prop_assert_eq!(sparse.2, dense.2, "protocol state differs");

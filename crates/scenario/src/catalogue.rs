@@ -12,7 +12,7 @@
 
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
-use radionet_sim::{NetInfo, ReceptionMode};
+use radionet_sim::{NetInfo, ReceptionMode, SinrConfig};
 use serde::{Deserialize, Serialize};
 
 pub use radionet_api::spec::{ChurnSpec, Dynamics, JamSpec, PartitionSpec, StaggerSpec};
@@ -119,7 +119,9 @@ impl Scenario {
     }
 
     /// The mobility scenarios: geometric families whose topology is
-    /// derived from a *moving* point set (`radionet-mobility`).
+    /// derived from a *moving* point set (`radionet-mobility`), including
+    /// the physical-layer cells where SINR reception follows the live
+    /// positions (geometry-calibrated — no hand-shipped coordinates).
     ///
     /// Kept separate from [`Scenario::catalogue`] because the frozen
     /// pre-façade reference pipeline (`run_cell_reference`) predates
@@ -133,6 +135,13 @@ impl Scenario {
             reception: ReceptionMode::Protocol,
             dynamics,
         };
+        let sinr = |name: &str, family, workload, dynamics| Scenario {
+            name: name.to_string(),
+            family,
+            workload,
+            reception: ReceptionMode::Sinr(SinrConfig::geometric()),
+            dynamics,
+        };
         let preset = |name: &str| Dynamics::preset(name).expect("standard mobility preset");
         vec![
             mk("udg-waypoint", Family::UnitDisk, Workload::Broadcast, preset("mobility:waypoint")),
@@ -144,6 +153,18 @@ impl Scenario {
                 Family::GeometricRadio,
                 Workload::Mis,
                 preset("mobility:waypoint"),
+            ),
+            sinr(
+                "udg-waypoint-sinr",
+                Family::UnitDisk,
+                Workload::Broadcast,
+                preset("mobility:waypoint"),
+            ),
+            sinr(
+                "ball3-group-sinr",
+                Family::UnitBall3,
+                Workload::Broadcast,
+                preset("mobility:group"),
             ),
         ]
     }
@@ -203,6 +224,24 @@ mod tests {
         // (growth-bounded is not enough: Path/Grid have no positions).
         for sc in Scenario::mobility_catalogue() {
             assert!(sc.family.has_embedding(), "{} has no point embedding", sc.name);
+        }
+        // The physical-layer mobility cells are present and geometry-
+        // sourced (no hand-shipped coordinates in the catalogue).
+        let sinr: Vec<Scenario> = Scenario::mobility_catalogue()
+            .into_iter()
+            .filter(|s| s.reception.name() == "sinr")
+            .collect();
+        assert!(sinr.len() >= 2, "catalogue misses the SINR mobility cells");
+        for sc in &sinr {
+            match &sc.reception {
+                ReceptionMode::Sinr(cfg) => assert_eq!(
+                    cfg.positions,
+                    radionet_sim::PositionSource::Geometry,
+                    "{}: SINR cells must be geometry-sourced",
+                    sc.name
+                ),
+                _ => unreachable!(),
+            }
         }
         let json = serde_json::to_string_pretty(&cat).unwrap();
         let back: Vec<Scenario> = serde_json::from_str(&json).unwrap();

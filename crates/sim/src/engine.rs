@@ -20,6 +20,20 @@
 //! * protocol-model reception is resolved by iterating **transmitters'
 //!   adjacency** (marking hit listeners with the stamp technique) instead
 //!   of scanning all listeners;
+//! * **SINR reception** is resolved through a
+//!   [`SpatialGrid`](radionet_graph::spatial::SpatialGrid) whose cell
+//!   width is the calibrated decode range: only listeners within one cell
+//!   ring of a transmitter can possibly decode (or lose a decodable
+//!   signal), so the per-step cost is proportional to transmitters and
+//!   their physical neighborhoods instead of `O(listeners × transmitters)`.
+//!   Under the default [`FarFieldPolicy::Exact`] the interference sum
+//!   stays exact (over all transmitters, in transmitter order, so even
+//!   the floating-point sums are bit-identical to the dense kernel);
+//!   [`FarFieldPolicy::Cutoff`] truncates it with a proven
+//!   `≤ eps·noise` omitted-interference bound. Positions come from the
+//!   [`PositionSource`] — an owned snapshot, or live from the topology
+//!   view ([`TopologyView::positions`]) with the spatial index rebuilt on
+//!   [`TopologyView::positions_version`] bumps;
 //! * topology dynamics arrive as a **batch change feed**
 //!   ([`TopologyView::drain_status_changes`]) instead of per-node polls.
 //!
@@ -27,12 +41,15 @@
 //! seed)` and produce identical [`PhaseReport`]s, [`SimStats`] and per-node
 //! RNG streams as long as protocols honor the [`Wake`] contract; the
 //! `kernel_equiv` proptests assert exactly that across the protocol and
-//! scenario catalogues.
+//! scenario catalogues (the one deliberate exception:
+//! [`FarFieldPolicy::Cutoff`] is honored by the sparse kernel only — the
+//! dense reference always computes exact interference).
 
 use crate::protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
-use crate::reception::ReceptionMode;
+use crate::reception::{dist3, FarFieldPolicy, PositionSource, ReceptionMode, SinrConfig};
 use crate::stats::SimStats;
 use crate::topology::{StaticTopology, TopologyView};
+use radionet_graph::spatial::SpatialGrid;
 use radionet_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -53,17 +70,24 @@ pub struct PhaseReport {
     pub collisions: u64,
     /// Whether every node reported [`Protocol::is_done`] before the budget.
     pub completed: bool,
+    /// Whether [`Kernel::Sparse`] was requested but the phase executed the
+    /// dense reference kernel (the topology view has no change feed).
+    /// Accumulated into [`SimStats::kernel_fallbacks`] so a silently
+    /// degraded run is observable in every report.
+    pub fell_back: bool,
 }
 
 /// Which step kernel [`Sim::run_phase`] executes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Kernel {
     /// The transmitter-centric active-set kernel (see the module docs):
-    /// per-step cost proportional to radio activity. Automatically falls
-    /// back to [`Kernel::Dense`] when the topology view has no change feed
-    /// ([`TopologyView::supports_change_feed`]) or under SINR reception
-    /// (physical interference couples all listeners to all transmitters,
-    /// so there is no sparsity to exploit).
+    /// per-step cost proportional to radio activity — under SINR
+    /// reception, via a spatial index over the node positions.
+    /// Automatically falls back to [`Kernel::Dense`] when the topology
+    /// view has no change feed
+    /// ([`TopologyView::supports_change_feed`]); the fallback is recorded
+    /// in [`PhaseReport::fell_back`] and
+    /// [`SimStats::kernel_fallbacks`], never silent.
     #[default]
     Sparse,
     /// The dense reference kernel: polls every node every step, ignoring
@@ -81,6 +105,57 @@ impl Kernel {
         }
     }
 }
+
+/// Why a [`Sim`] could not be constructed ([`Sim::try_with_topology`]).
+///
+/// Every variant is an SINR-configuration mismatch: the protocol models
+/// need nothing beyond the graph, so they cannot fail.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// An SINR position snapshot does not carry one position per node.
+    PositionCount {
+        /// Nodes in the graph.
+        nodes: usize,
+        /// Positions supplied.
+        positions: usize,
+    },
+    /// `PositionSource::Live` SINR reception over a topology view that
+    /// carries no positions ([`TopologyView::positions`] is `None`).
+    NoLivePositions,
+    /// `PositionSource::Geometry` reached the engine unresolved — the
+    /// driver layer must substitute the family's embedding (a snapshot)
+    /// or the live feed before constructing the simulation.
+    UnresolvedGeometry,
+    /// The SINR physical parameters are degenerate
+    /// ([`SinrConfig::validate`]).
+    Config(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::PositionCount { nodes, positions } => write!(
+                f,
+                "SINR reception needs one position per node: \
+                 the graph has {nodes} nodes but {positions} positions were supplied"
+            ),
+            SimError::NoLivePositions => write!(
+                f,
+                "live SINR positions need a topology view that carries geometry \
+                 (TopologyView::positions returned None)"
+            ),
+            SimError::UnresolvedGeometry => write!(
+                f,
+                "PositionSource::Geometry must be resolved to a snapshot or the live \
+                 feed before the engine runs (the API driver does this from the \
+                 family's embedding)"
+            ),
+            SimError::Config(why) => f.write_str(why),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Per-node scheduling state of the sparse kernel, reused across phases.
 ///
@@ -267,6 +342,22 @@ pub struct Sim<'g, T: TopologyView = StaticTopology> {
     listening: Vec<bool>,
     tx_nodes: Vec<u32>,
     sched: SparseSched,
+    // SINR-only scratch: per-listener strongest candidate gain, the
+    // transmitter membership stamp + `tx_nodes` slot for the far-field
+    // ring search (and its candidate-collection buffer), and the
+    // decode-range spatial index (rebuilt when the position version
+    // changes). Empty/None under the protocol models.
+    sinr_best: Vec<f64>,
+    tx_mark: Vec<u64>,
+    tx_slot: Vec<u32>,
+    cutoff_cands: Vec<u32>,
+    sinr_grid: Option<SpatialGrid>,
+    sinr_grid_version: u64,
+    /// The domain the grid layout was built for (`[lo, lo + side]` per
+    /// axis); points drifting outside it force a layout rebuild instead
+    /// of an in-place re-bucket.
+    sinr_grid_lo: [f64; 3],
+    sinr_grid_side: f64,
 }
 
 impl<'g> Sim<'g> {
@@ -276,13 +367,23 @@ impl<'g> Sim<'g> {
         Self::with_reception(graph, info, seed, ReceptionMode::Protocol)
     }
 
+    /// Fallible form of [`Sim::new`] (infallible in practice — the
+    /// protocol model has nothing to validate — provided for symmetry so
+    /// driver layers can route every construction through one `?` path).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; see [`Sim::try_with_reception`].
+    pub fn try_new(graph: &'g Graph, info: NetInfo, seed: u64) -> Result<Self, SimError> {
+        Self::try_with_reception(graph, info, seed, ReceptionMode::Protocol)
+    }
+
     /// Creates a simulation under an explicit [`ReceptionMode`] (collision
     /// detection or SINR; see the `reception` module docs).
     ///
     /// # Panics
     ///
-    /// Panics if an SINR mode supplies a position count different from the
-    /// node count.
+    /// Panics where [`Sim::try_with_reception`] errors.
     pub fn with_reception(
         graph: &'g Graph,
         info: NetInfo,
@@ -290,6 +391,21 @@ impl<'g> Sim<'g> {
         reception: ReceptionMode,
     ) -> Self {
         Self::with_topology(graph, StaticTopology, info, seed, reception)
+    }
+
+    /// Fallible form of [`Sim::with_reception`]: validates the SINR
+    /// configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::try_with_topology`].
+    pub fn try_with_reception(
+        graph: &'g Graph,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+    ) -> Result<Self, SimError> {
+        Self::try_with_topology(graph, StaticTopology, info, seed, reception)
     }
 }
 
@@ -299,8 +415,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
     ///
     /// # Panics
     ///
-    /// Panics if an SINR mode supplies a position count different from the
-    /// node count.
+    /// Panics where [`Sim::try_with_topology`] errors (the message keeps
+    /// the historical "one position per node" wording for the count
+    /// mismatch).
     pub fn with_topology(
         graph: &'g Graph,
         topo: T,
@@ -308,12 +425,59 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         seed: u64,
         reception: ReceptionMode,
     ) -> Self {
+        Self::try_with_topology(graph, topo, info, seed, reception)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible construction: validates the SINR configuration against the
+    /// graph and the topology view — the driver-facing entry point, so a
+    /// bad spec surfaces as a clean error instead of an engine panic.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Config`] — degenerate SINR physical parameters;
+    /// * [`SimError::PositionCount`] — a snapshot without exactly one
+    ///   position per node;
+    /// * [`SimError::NoLivePositions`] — `PositionSource::Live` over a
+    ///   view that carries no positions (or the wrong number of them);
+    /// * [`SimError::UnresolvedGeometry`] — `PositionSource::Geometry`
+    ///   was not resolved by the caller.
+    pub fn try_with_topology(
+        graph: &'g Graph,
+        topo: T,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+    ) -> Result<Self, SimError> {
+        let mut sinr = false;
         if let ReceptionMode::Sinr(cfg) = &reception {
-            assert_eq!(cfg.positions.len(), graph.n(), "one position per node");
+            sinr = true;
+            cfg.validate().map_err(SimError::Config)?;
+            match &cfg.positions {
+                PositionSource::Snapshot(points) => {
+                    if points.len() != graph.n() {
+                        return Err(SimError::PositionCount {
+                            nodes: graph.n(),
+                            positions: points.len(),
+                        });
+                    }
+                }
+                PositionSource::Live => match topo.positions() {
+                    Some(points) if points.len() == graph.n() => {}
+                    Some(points) => {
+                        return Err(SimError::PositionCount {
+                            nodes: graph.n(),
+                            positions: points.len(),
+                        })
+                    }
+                    None => return Err(SimError::NoLivePositions),
+                },
+                PositionSource::Geometry => return Err(SimError::UnresolvedGeometry),
+            }
         }
         let mut master = SmallRng::seed_from_u64(seed);
         let rngs = (0..graph.n()).map(|_| SmallRng::seed_from_u64(master.gen())).collect();
-        Sim {
+        Ok(Sim {
             graph,
             topo,
             info,
@@ -329,7 +493,15 @@ impl<'g, T: TopologyView> Sim<'g, T> {
             listening: vec![false; graph.n()],
             tx_nodes: Vec::new(),
             sched: SparseSched::default(),
-        }
+            sinr_best: if sinr { vec![0.0; graph.n()] } else { Vec::new() },
+            tx_mark: if sinr { vec![0; graph.n()] } else { Vec::new() },
+            tx_slot: if sinr { vec![0; graph.n()] } else { Vec::new() },
+            cutoff_cands: Vec::new(),
+            sinr_grid: None,
+            sinr_grid_version: 0,
+            sinr_grid_lo: [0.0; 3],
+            sinr_grid_side: 0.0,
+        })
     }
 
     /// The active reception mode.
@@ -422,13 +594,15 @@ impl<'g, T: TopologyView> Sim<'g, T> {
     /// Panics if `states.len() != graph.n()`.
     pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
         assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
-        let sparse_ok =
-            self.topo.supports_change_feed() && !matches!(self.reception, ReceptionMode::Sinr(_));
-        let report = if self.kernel == Kernel::Sparse && sparse_ok {
+        let sparse_ok = self.topo.supports_change_feed();
+        let mut report = if self.kernel == Kernel::Sparse && sparse_ok {
             self.run_phase_sparse(states, max_steps)
         } else {
             self.run_phase_dense(states, max_steps)
         };
+        // A requested-but-unavailable sparse kernel is a quiet Θ(n)-per-
+        // step regression; record it so reports and the CLI can surface it.
+        report.fell_back = self.kernel == Kernel::Sparse && !sparse_ok;
         self.clock += report.steps;
         self.stats.absorb_phase(&report);
         report
@@ -442,6 +616,7 @@ impl<'g, T: TopologyView> Sim<'g, T> {
             deliveries: 0,
             collisions: 0,
             completed: false,
+            fell_back: false,
         };
         if states.iter().all(|s| s.is_done()) {
             report.completed = true;
@@ -481,41 +656,49 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                 // the topology view's *structural* events (edge fades,
                 // partitions) do not apply here — radio waves ignore
                 // logical cuts; only node state (activity, jamming)
-                // matters.
-                for (i, state) in states.iter_mut().enumerate() {
-                    if !self.listening[i] || self.tx_nodes.is_empty() {
-                        continue;
-                    }
-                    let mut total = 0.0;
-                    let mut best_gain = 0.0;
-                    let mut best_ti = usize::MAX;
-                    for (ti, &u) in self.tx_nodes.iter().enumerate() {
-                        let gain = cfg.gain(cfg.dist(u as usize, i));
-                        total += gain;
-                        if gain > best_gain {
-                            best_gain = gain;
-                            best_ti = ti;
+                // matters. The dense reference always sums interference
+                // exactly (FarFieldPolicy applies to the sparse kernel).
+                // A silent step resolves nothing, so the all-listener scan
+                // is skipped outright rather than per listener.
+                if !self.tx_nodes.is_empty() {
+                    let pos = sinr_positions(cfg, &self.topo);
+                    let floor = cfg.near_field_floor();
+                    for (i, state) in states.iter_mut().enumerate() {
+                        if !self.listening[i] {
+                            continue;
                         }
-                    }
-                    if self.topo.is_jammed(NodeId::new(i)) {
-                        // Broadband noise at the receiver: nothing decodes;
-                        // it only counts as a collision if a signal that
-                        // was decodable in isolation got drowned.
-                        if best_gain / cfg.noise >= cfg.threshold {
+                        let mut total = 0.0;
+                        let mut best_gain = 0.0;
+                        let mut best_ti = usize::MAX;
+                        for (ti, &u) in self.tx_nodes.iter().enumerate() {
+                            let gain = cfg.gain_clamped(dist3(&pos[u as usize], &pos[i]), floor);
+                            total += gain;
+                            if gain > best_gain {
+                                best_gain = gain;
+                                best_ti = ti;
+                            }
+                        }
+                        if self.topo.is_jammed(NodeId::new(i)) {
+                            // Broadband noise at the receiver: nothing
+                            // decodes; it only counts as a collision if a
+                            // signal that was decodable in isolation got
+                            // drowned.
+                            if best_gain / cfg.noise >= cfg.threshold {
+                                report.collisions += 1;
+                            }
+                            continue;
+                        }
+                        let sinr = best_gain / (cfg.noise + (total - best_gain));
+                        if sinr >= cfg.threshold {
+                            let msg = &arena[best_ti];
+                            let mut ctx =
+                                NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                            state.on_hear(&mut ctx, msg);
+                            report.deliveries += 1;
+                        } else if best_gain / cfg.noise >= cfg.threshold {
+                            // Decodable in isolation, lost to interference.
                             report.collisions += 1;
                         }
-                        continue;
-                    }
-                    let sinr = best_gain / (cfg.noise + (total - best_gain));
-                    if sinr >= cfg.threshold {
-                        let msg = &arena[best_ti];
-                        let mut ctx =
-                            NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
-                        state.on_hear(&mut ctx, msg);
-                        report.deliveries += 1;
-                    } else if best_gain / cfg.noise >= cfg.threshold {
-                        // Decodable in isolation, lost to interference.
-                        report.collisions += 1;
                     }
                 }
             } else {
@@ -602,6 +785,7 @@ impl<'g, T: TopologyView> Sim<'g, T> {
             deliveries: 0,
             collisions: 0,
             completed: false,
+            fell_back: false,
         };
         // Phase-start scan (the only O(n) work outside of actual activity):
         // discard feed entries from before this phase, then snapshot
@@ -705,80 +889,256 @@ impl<'g, T: TopologyView> Sim<'g, T> {
             self.sched.ring = ring;
             report.transmissions += self.tx_nodes.len() as u64;
 
-            // (4) Reception over transmitters' neighborhoods only: stamp
-            // hit nodes (collecting the touched list), then resolve each
-            // touched listener exactly once.
-            self.sched.touched.clear();
-            for (ti, &u) in self.tx_nodes.iter().enumerate() {
-                for &w in self.topo.neighbors(self.graph, NodeId::new(u as usize)) {
-                    let wi = w.index();
-                    if self.stamp[wi] != self.stamp_epoch {
-                        self.stamp[wi] = self.stamp_epoch;
-                        self.count[wi] = 0;
-                        self.sched.touched.push(wi as u32);
+            // (4) Reception. Under SINR the "neighborhood" is physical:
+            // the decode-range spatial index stands in for adjacency.
+            // Under the protocol models it is the transmitters' graph
+            // neighborhoods. Either way: stamp hit nodes (collecting the
+            // touched list), then resolve each touched listener exactly
+            // once.
+            if let ReceptionMode::Sinr(cfg) = &self.reception {
+                self.sched.touched.clear();
+                if !self.tx_nodes.is_empty() {
+                    let pos = sinr_positions(cfg, &self.topo);
+                    // Keep the decode-range index in sync with the
+                    // position source: a snapshot never moves (version
+                    // stays 0 → built once per Sim); a live source bumps
+                    // its version whenever nodes moved, which re-buckets
+                    // in place and keeps the cell layout — the hot path
+                    // never reallocates. The layout is only rebuilt when
+                    // the point extent outgrows it (drifted points clamp
+                    // correctly, see SpatialGrid::new, but piling them
+                    // into boundary cells would quietly erode the
+                    // index's selectivity).
+                    let version = match cfg.positions {
+                        PositionSource::Snapshot(_) => 0,
+                        _ => self.topo.positions_version(),
+                    };
+                    if self.sinr_grid.is_none() || version != self.sinr_grid_version {
+                        let (lo, hi) = position_bounds(pos);
+                        let fits = (0..3).all(|a| {
+                            lo[a] >= self.sinr_grid_lo[a]
+                                && hi[a] <= self.sinr_grid_lo[a] + self.sinr_grid_side
+                        });
+                        match &mut self.sinr_grid {
+                            Some(grid) if fits => grid.rebuild(pos),
+                            slot => {
+                                let (grid, anchor, side) = build_sinr_grid(cfg, pos, lo, hi);
+                                *slot = Some(grid);
+                                self.sinr_grid_lo = anchor;
+                                self.sinr_grid_side = side;
+                            }
+                        }
+                        self.sinr_grid_version = version;
                     }
-                    self.count[wi] += 1;
-                    self.from[wi] = ti as u32;
-                }
-            }
-            let touched = std::mem::take(&mut self.sched.touched);
-            for &wi32 in &touched {
-                let wi = wi32 as usize;
-                if !self.listening[wi] {
-                    continue;
-                }
-                let w = NodeId::new(wi);
-                let hits = self.count[wi];
-                let jammed = self.topo.is_jammed(w);
-                if hits == 1 && !jammed {
-                    let ti = self.from[wi] as usize;
-                    let mut ctx =
-                        NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[wi] };
-                    states[wi].on_hear(&mut ctx, &arena[ti]);
-                    report.deliveries += 1;
-                } else {
-                    if hits >= 2 || (jammed && hits >= 1) {
-                        report.collisions += 1;
+                    let grid = self.sinr_grid.as_ref().expect("built above");
+                    let floor = cfg.near_field_floor();
+                    let epoch = self.stamp_epoch;
+                    // Cutoff mode: fix this step's truncation radius once
+                    // (eps and the transmitter count don't change within
+                    // a step — the powf has no business in the
+                    // per-listener loop) and stamp transmitter
+                    // membership for the far-field ring search below.
+                    let cutoff = match cfg.far_field {
+                        FarFieldPolicy::Exact => None,
+                        FarFieldPolicy::Cutoff(eps) => {
+                            for (ti, &u) in self.tx_nodes.iter().enumerate() {
+                                self.tx_mark[u as usize] = epoch;
+                                self.tx_slot[u as usize] = ti as u32;
+                            }
+                            Some(cfg.cutoff_distance(eps, self.tx_nodes.len()))
+                        }
+                    };
+                    // (4a) Candidate pass, transmitter-centric: every
+                    // listener that could possibly decode (or lose a
+                    // decodable signal) is within one index cell ring —
+                    // the cell width *is* the decode range — of some
+                    // transmitter. Track its strongest transmitter;
+                    // iterating transmitters in `ti` order with a strict
+                    // `>` reproduces the dense kernel's tie-break (first
+                    // maximal transmitter wins) exactly.
+                    for (ti, &u) in self.tx_nodes.iter().enumerate() {
+                        let pu = pos[u as usize];
+                        grid.for_candidates(pu, |cand| {
+                            let wi = cand as usize;
+                            if !self.listening[wi] {
+                                return;
+                            }
+                            let gain = cfg.gain_clamped(dist3(&pu, &pos[wi]), floor);
+                            if self.stamp[wi] != epoch {
+                                self.stamp[wi] = epoch;
+                                self.sinr_best[wi] = gain;
+                                self.from[wi] = ti as u32;
+                                self.sched.touched.push(cand);
+                            } else if gain > self.sinr_best[wi] {
+                                self.sinr_best[wi] = gain;
+                                self.from[wi] = ti as u32;
+                            }
+                        });
                     }
-                    if cd {
+                    // (4b) Resolve each touched listener once. Skipping
+                    // listeners whose best candidate is below the decode
+                    // threshold is exact: the true strongest transmitter
+                    // of such a listener (candidate or not) is below
+                    // threshold too, so the dense kernel also neither
+                    // delivers nor counts a collision for it.
+                    let touched = std::mem::take(&mut self.sched.touched);
+                    for &w32 in &touched {
+                        let wi = w32 as usize;
+                        let best = self.sinr_best[wi];
+                        if best / cfg.noise < cfg.threshold {
+                            continue;
+                        }
+                        if self.topo.is_jammed(NodeId::new(wi)) {
+                            // A decodable signal drowned by broadband
+                            // receiver noise: a collision, no delivery.
+                            report.collisions += 1;
+                            continue;
+                        }
+                        let total = match cutoff {
+                            // Exact interference: the sum runs over all
+                            // transmitters in `ti` order — the identical
+                            // floating-point reduction the dense kernel
+                            // computes.
+                            None => {
+                                let mut sum = 0.0;
+                                for &t in &self.tx_nodes {
+                                    sum +=
+                                        cfg.gain_clamped(dist3(&pos[t as usize], &pos[wi]), floor);
+                                }
+                                sum
+                            }
+                            // Cutoff: only transmitters within the
+                            // eps-calibrated radius contribute; the
+                            // omitted tail is ≤ eps·noise in total (see
+                            // FarFieldPolicy::Cutoff). Candidates are
+                            // collected from the ring walk, then summed
+                            // in `ti` order — the same floating-point
+                            // reduction order as Exact — so a radius
+                            // wide enough to reach every transmitter
+                            // reproduces the Exact sum bit-for-bit
+                            // instead of merely up to rounding.
+                            Some(cut) => {
+                                let mut cands = std::mem::take(&mut self.cutoff_cands);
+                                cands.clear();
+                                grid.for_candidates_within(pos[wi], cut, |cand| {
+                                    let ci = cand as usize;
+                                    if self.tx_mark[ci] == epoch {
+                                        cands.push(self.tx_slot[ci]);
+                                    }
+                                });
+                                cands.sort_unstable();
+                                let mut sum = 0.0;
+                                for &ti in &cands {
+                                    let t = self.tx_nodes[ti as usize] as usize;
+                                    sum += cfg.gain_clamped(dist3(&pos[t], &pos[wi]), floor);
+                                }
+                                self.cutoff_cands = cands;
+                                sum
+                            }
+                        };
+                        let sinr = best / (cfg.noise + (total - best));
+                        if sinr >= cfg.threshold {
+                            let ti = self.from[wi] as usize;
+                            let mut ctx = NodeCtx {
+                                time: local_t,
+                                info: &self.info,
+                                rng: &mut self.rngs[wi],
+                            };
+                            states[wi].on_hear(&mut ctx, &arena[ti]);
+                            report.deliveries += 1;
+                            // Hearing re-engages the node: poll done-ness,
+                            // take a fresh hint.
+                            if !self.sched.done[wi] && states[wi].is_done() {
+                                self.sched.mark_done(wi);
+                            }
+                            let hint = states[wi].next_wake(local_t);
+                            self.sched.apply_hint(wi, local_t, hint, max_steps);
+                        } else {
+                            // Decodable in isolation, lost to
+                            // interference (no CD under SINR: the
+                            // listener is not notified, so no re-engage).
+                            report.collisions += 1;
+                        }
+                    }
+                    self.sched.touched = touched;
+                }
+            } else {
+                self.sched.touched.clear();
+                for (ti, &u) in self.tx_nodes.iter().enumerate() {
+                    for &w in self.topo.neighbors(self.graph, NodeId::new(u as usize)) {
+                        let wi = w.index();
+                        if self.stamp[wi] != self.stamp_epoch {
+                            self.stamp[wi] = self.stamp_epoch;
+                            self.count[wi] = 0;
+                            self.sched.touched.push(wi as u32);
+                        }
+                        self.count[wi] += 1;
+                        self.from[wi] = ti as u32;
+                    }
+                }
+                let touched = std::mem::take(&mut self.sched.touched);
+                for &wi32 in &touched {
+                    let wi = wi32 as usize;
+                    if !self.listening[wi] {
+                        continue;
+                    }
+                    let w = NodeId::new(wi);
+                    let hits = self.count[wi];
+                    let jammed = self.topo.is_jammed(w);
+                    if hits == 1 && !jammed {
+                        let ti = self.from[wi] as usize;
                         let mut ctx =
                             NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[wi] };
-                        states[wi].on_collision(&mut ctx);
+                        states[wi].on_hear(&mut ctx, &arena[ti]);
+                        report.deliveries += 1;
                     } else {
-                        continue;
+                        if hits >= 2 || (jammed && hits >= 1) {
+                            report.collisions += 1;
+                        }
+                        if cd {
+                            let mut ctx = NodeCtx {
+                                time: local_t,
+                                info: &self.info,
+                                rng: &mut self.rngs[wi],
+                            };
+                            states[wi].on_collision(&mut ctx);
+                        } else {
+                            continue;
+                        }
                     }
-                }
-                // Hearing (or a CD collision signal) re-engages the node:
-                // poll done-ness, take a fresh hint.
-                if !self.sched.done[wi] && states[wi].is_done() {
-                    self.sched.mark_done(wi);
-                }
-                let hint = states[wi].next_wake(local_t);
-                self.sched.apply_hint(wi, local_t, hint, max_steps);
-            }
-            self.sched.touched = touched;
-            // CD jam signal on otherwise silent listeners: the dense kernel
-            // finds these in its all-listener scan; here the view hands us
-            // the (typically tiny) jam-exposed set directly.
-            if cd {
-                let mut re_engage: Vec<u32> = Vec::new();
-                for &w in self.topo.jammed_nodes() {
-                    let wi = w.index();
-                    if self.stamp[wi] == self.stamp_epoch || !self.listening[wi] {
-                        continue;
-                    }
-                    let mut ctx =
-                        NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[wi] };
-                    states[wi].on_collision(&mut ctx);
-                    re_engage.push(wi as u32);
-                }
-                for &wi32 in &re_engage {
-                    let wi = wi32 as usize;
+                    // Hearing (or a CD collision signal) re-engages the
+                    // node: poll done-ness, take a fresh hint.
                     if !self.sched.done[wi] && states[wi].is_done() {
                         self.sched.mark_done(wi);
                     }
                     let hint = states[wi].next_wake(local_t);
                     self.sched.apply_hint(wi, local_t, hint, max_steps);
+                }
+                self.sched.touched = touched;
+                // CD jam signal on otherwise silent listeners: the dense
+                // kernel finds these in its all-listener scan; here the
+                // view hands us the (typically tiny) jam-exposed set
+                // directly.
+                if cd {
+                    let mut re_engage: Vec<u32> = Vec::new();
+                    for &w in self.topo.jammed_nodes() {
+                        let wi = w.index();
+                        if self.stamp[wi] == self.stamp_epoch || !self.listening[wi] {
+                            continue;
+                        }
+                        let mut ctx =
+                            NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[wi] };
+                        states[wi].on_collision(&mut ctx);
+                        re_engage.push(wi as u32);
+                    }
+                    for &wi32 in &re_engage {
+                        let wi = wi32 as usize;
+                        if !self.sched.done[wi] && states[wi].is_done() {
+                            self.sched.mark_done(wi);
+                        }
+                        let hint = states[wi].next_wake(local_t);
+                        self.sched.apply_hint(wi, local_t, hint, max_steps);
+                    }
                 }
             }
 
@@ -801,6 +1161,68 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         }
         report
     }
+}
+
+/// Resolves the SINR position slice for one step. Free-standing (takes the
+/// two fields explicitly) so the kernels can hold disjoint mutable borrows
+/// of the rest of [`Sim`] while positions stay alive.
+fn sinr_positions<'a, T: TopologyView>(cfg: &'a SinrConfig, topo: &'a T) -> &'a [[f64; 3]] {
+    match &cfg.positions {
+        PositionSource::Snapshot(points) => points,
+        PositionSource::Live => {
+            topo.positions().expect("constructor validated the live position feed")
+        }
+        PositionSource::Geometry => {
+            unreachable!("constructor rejects unresolved Geometry position sources")
+        }
+    }
+}
+
+/// Per-axis bounding box of the positions — the domain a spatial index
+/// over them must be anchored to (offset or origin-straddling snapshots
+/// would otherwise clamp into boundary cells and lose all selectivity).
+fn position_bounds(pos: &[[f64; 3]]) -> ([f64; 3], [f64; 3]) {
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for p in pos {
+        for axis in 0..3 {
+            lo[axis] = lo[axis].min(p[axis]);
+            hi[axis] = hi[axis].max(p[axis]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Builds the decode-range spatial index over the current positions,
+/// anchored one decode range *outside* their bounding box (`(lo, hi)` =
+/// [`position_bounds`], hoisted so the caller can also use it for
+/// layout-staleness checks). The padding gives live position sources room
+/// to drift: an expanding point cloud (a waypoint/walk run still spreading
+/// toward its domain edges, an unbounded Lévy flight) stays inside the
+/// layout for many steps, so the staleness check re-buckets in place
+/// instead of reallocating the grid on every new extent record. Returns
+/// the grid together with the padded anchor and domain side it covers —
+/// the caller records `(anchor, side)` for the staleness check, so the
+/// two derivations cannot drift apart.
+///
+/// The cell width is the calibrated decode range — floored so the cell
+/// count never exceeds ≈ one cell per node (a decode range far below the
+/// point spacing would otherwise allocate a uselessly fine grid; wider
+/// cells are always correct, just less selective).
+fn build_sinr_grid(
+    cfg: &SinrConfig,
+    pos: &[[f64; 3]],
+    lo: [f64; 3],
+    hi: [f64; 3],
+) -> (SpatialGrid, [f64; 3], f64) {
+    let decode = cfg.decode_range();
+    let anchor = [lo[0] - decode, lo[1] - decode, lo[2] - decode];
+    let span = (0..3).map(|a| hi[a] - lo[a]).fold(0.0f64, f64::max) + 2.0 * decode;
+    let side = span.max(decode);
+    let dim = if pos.iter().any(|p| p[2] != 0.0) { 3 } else { 2 };
+    let per_axis_cap = (pos.len().max(1) as f64).powf(1.0 / dim as f64).ceil().max(1.0);
+    let radius = decode.max(side / per_axis_cap);
+    (SpatialGrid::with_origin(anchor, side, radius, dim, pos), anchor, side)
 }
 
 #[cfg(test)]
@@ -1355,5 +1777,189 @@ mod tests {
         let mode =
             crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(vec![(0.0, 0.0)], 1.0));
         let _ = Sim::with_reception(&g, NetInfo::exact(&g), 0, mode);
+    }
+
+    #[test]
+    fn try_constructors_report_clean_errors() {
+        use crate::reception::{PositionSource, SinrConfig};
+        use crate::SimError;
+        let g = generators::path(4);
+        let info = NetInfo::exact(&g);
+        // Snapshot count mismatch.
+        let mode = crate::ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![(0.0, 0.0)], 1.0));
+        let err = Sim::try_with_reception(&g, info, 0, mode).unwrap_err();
+        assert_eq!(err, SimError::PositionCount { nodes: 4, positions: 1 });
+        assert!(err.to_string().contains("one position per node"), "{err}");
+        // Live positions over a view with no geometry.
+        let mode =
+            crate::ReceptionMode::Sinr(SinrConfig::for_unit_range(PositionSource::Live, 1.0));
+        let err = Sim::try_with_reception(&g, info, 0, mode).unwrap_err();
+        assert_eq!(err, SimError::NoLivePositions);
+        // Unresolved Geometry source.
+        let err = Sim::try_with_reception(
+            &g,
+            info,
+            0,
+            crate::ReceptionMode::Sinr(SinrConfig::geometric()),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::UnresolvedGeometry);
+        // Degenerate physics.
+        let mut cfg = SinrConfig::for_unit_range(vec![(0.0, 0.0); 4], 1.0);
+        cfg.noise = -1.0;
+        let err =
+            Sim::try_with_reception(&g, info, 0, crate::ReceptionMode::Sinr(cfg)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err:?}");
+        // The protocol models never fail.
+        assert!(Sim::try_new(&g, info, 0).is_ok());
+        assert!(Sim::try_with_reception(&g, info, 0, crate::ReceptionMode::ProtocolCd).is_ok());
+    }
+
+    /// A feed-less view: forces the dense fallback under `Kernel::Sparse`.
+    struct NoFeed;
+
+    impl TopologyView for NoFeed {
+        fn advance_to(&mut self, _base: &Graph, _clock: u64) {}
+        fn neighbors<'a>(&'a self, base: &'a Graph, v: NodeId) -> &'a [NodeId] {
+            base.neighbors(v)
+        }
+        fn is_active(&self, _v: NodeId) -> bool {
+            true
+        }
+        fn is_jammed(&self, _v: NodeId) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn kernel_fallback_is_recorded_not_silent() {
+        let g = generators::star(4);
+        let info = NetInfo::exact(&g);
+        // Sparse requested over a feed-less view: dense runs, and says so.
+        let mut sim = Sim::with_topology(&g, NoFeed, info, 0, ReceptionMode::Protocol);
+        let mut states = chatters(&g, &[0]);
+        let rep = sim.run_phase(&mut states, 2);
+        assert!(rep.fell_back, "fallback must be visible in the report");
+        let rep2 = sim.run_phase(&mut states, 1);
+        assert!(rep2.fell_back);
+        assert_eq!(sim.stats().kernel_fallbacks, 2, "one count per fallen-back phase");
+        // Dense requested explicitly: not a fallback.
+        let mut sim = Sim::with_topology(&g, NoFeed, info, 0, ReceptionMode::Protocol);
+        sim.set_kernel(Kernel::Dense);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
+        assert!(!rep.fell_back);
+        assert_eq!(sim.stats().kernel_fallbacks, 0);
+        // Sparse over a feed-supporting view: no fallback.
+        let mut sim = Sim::new(&g, info, 0);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
+        assert!(!rep.fell_back);
+        assert_eq!(sim.stats().kernel_fallbacks, 0);
+    }
+
+    /// Scattered unit-disk-style points for SINR kernel tests.
+    fn scatter(n: usize, side: f64, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.gen::<f64>() * side, rng.gen::<f64>() * side, 0.0]).collect()
+    }
+
+    #[test]
+    fn sinr_kernels_agree_on_randomized_traffic() {
+        use crate::reception::SinrConfig;
+        let g = generators::grid2d(6, 6);
+        let pts = scatter(g.n(), 5.0, 17);
+        let run = |kernel| {
+            let mode = crate::ReceptionMode::Sinr(SinrConfig::for_unit_range(pts.clone(), 1.0));
+            let mut sim = Sim::with_reception(&g, NetInfo::exact(&g), 3, mode);
+            sim.set_kernel(kernel);
+            let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
+            let rep = sim.run_phase(&mut states, 60);
+            (rep, *sim.stats(), sim.rng_fingerprint())
+        };
+        let (sparse, dense) = (run(Kernel::Sparse), run(Kernel::Dense));
+        assert_eq!(sparse, dense);
+        assert!(sparse.0.deliveries > 0, "degenerate test: nothing was ever delivered");
+    }
+
+    #[test]
+    fn sinr_kernels_agree_on_offset_and_negative_snapshots() {
+        // Deployments centered on the origin or far from it: the index
+        // anchors at the bounding box, and results still match dense.
+        use crate::reception::SinrConfig;
+        let g = generators::grid2d(5, 5);
+        for offset in [-4.0, 0.0, 1000.0] {
+            let pts: Vec<[f64; 3]> = scatter(g.n(), 8.0, 31)
+                .into_iter()
+                .map(|p| [p[0] + offset, p[1] + offset, 0.0])
+                .collect();
+            let run = |kernel| {
+                let mode = crate::ReceptionMode::Sinr(SinrConfig::for_unit_range(pts.clone(), 1.0));
+                let mut sim = Sim::with_reception(&g, NetInfo::exact(&g), 5, mode);
+                sim.set_kernel(kernel);
+                let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
+                let rep = sim.run_phase(&mut states, 40);
+                (rep, sim.rng_fingerprint())
+            };
+            let (sparse, dense) = (run(Kernel::Sparse), run(Kernel::Dense));
+            assert_eq!(sparse, dense, "offset {offset}");
+            assert!(sparse.0.deliveries > 0, "offset {offset}: nothing delivered");
+        }
+    }
+
+    #[test]
+    fn sinr_sparse_runs_sparse_no_fallback() {
+        use crate::reception::SinrConfig;
+        let g = generators::grid2d(4, 4);
+        let pts = scatter(g.n(), 4.0, 2);
+        let mode = crate::ReceptionMode::Sinr(SinrConfig::for_unit_range(pts, 1.0));
+        let mut sim = Sim::with_reception(&g, NetInfo::exact(&g), 1, mode);
+        assert_eq!(sim.kernel(), Kernel::Sparse);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 3);
+        assert!(!rep.fell_back, "SINR no longer forces the dense kernel");
+        assert_eq!(sim.stats().kernel_fallbacks, 0);
+    }
+
+    #[test]
+    fn sinr_cutoff_approximates_exact() {
+        use crate::reception::{FarFieldPolicy, SinrConfig};
+        // A dense cluster of chatterers: with a loose eps the cutoff may
+        // flip borderline collisions into deliveries (one-sided), with a
+        // tight eps it must match Exact exactly on this instance.
+        let g = generators::complete(12);
+        let pts = scatter(g.n(), 6.0, 23);
+        let run = |far_field| {
+            let mode = crate::ReceptionMode::Sinr(
+                SinrConfig::for_unit_range(pts.clone(), 1.0).with_far_field(far_field),
+            );
+            let mut sim = Sim::with_reception(&g, NetInfo::exact(&g), 9, mode);
+            let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
+            let rep = sim.run_phase(&mut states, 80);
+            (rep, sim.rng_fingerprint())
+        };
+        let exact = run(FarFieldPolicy::Exact);
+        let tight = run(FarFieldPolicy::Cutoff(1e-9));
+        assert_eq!(exact, tight, "a tight epsilon must reproduce Exact here");
+        let loose = run(FarFieldPolicy::Cutoff(0.5));
+        // One-sided error: truncating interference can only help decoding.
+        assert!(loose.0.deliveries >= exact.0.deliveries);
+        assert!(loose.0.transmissions == exact.0.transmissions);
+    }
+
+    #[test]
+    fn sinr_capture_effect_both_kernels() {
+        // The capture-effect scenario of `sinr_capture_effect`, pinned on
+        // both kernels explicitly.
+        for kernel in [Kernel::Sparse, Kernel::Dense] {
+            let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
+            let positions = vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.0)];
+            let mode =
+                crate::ReceptionMode::Sinr(crate::SinrConfig::for_unit_range(positions, 1.0));
+            let mut sim = Sim::with_reception(&g, NetInfo::exact(&g), 0, mode);
+            sim.set_kernel(kernel);
+            let mut states: Vec<Chatter> =
+                g.nodes().map(|v| Chatter { active: v.index() != 0, heard: Vec::new() }).collect();
+            let rep = sim.run_phase(&mut states, 1);
+            assert_eq!(rep.deliveries, 1, "{kernel:?}");
+            assert_eq!(states[0].heard, vec![7], "{kernel:?}");
+        }
     }
 }

@@ -71,8 +71,10 @@ mod stats;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use engine::{Kernel, PhaseReport, Sim};
+pub use engine::{Kernel, PhaseReport, Sim, SimError};
 pub use protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
-pub use reception::{ReceptionMode, SinrConfig};
+pub use reception::{
+    dist3, FarFieldPolicy, PositionSource, ReceptionMode, SinrConfig, NEAR_FIELD_FRACTION,
+};
 pub use stats::SimStats;
 pub use topology::{StaticTopology, TopologyView};

@@ -17,14 +17,119 @@
 //!   `P·d(u,v)^{-α} / (N + Σ_{w≠u} P·d(w,v)^{-α}) ≥ β`, independent of the
 //!   graph (the graph still defines who *intends* to talk to whom; SINR
 //!   decides who is *heard*, including capture from non-neighbors).
+//!
+//! # Position sourcing
+//!
+//! SINR reception is purely positional, so the one thing it needs is a
+//! point per node. [`PositionSource`] names where those points come from:
+//! a hand-shipped [`Snapshot`](PositionSource::Snapshot), the generating
+//! family's own embedding ([`Geometry`](PositionSource::Geometry), resolved
+//! by the API driver), or the **live** moving point set of a mobile
+//! topology ([`Live`](PositionSource::Live), re-read from the
+//! [`TopologyView`](crate::TopologyView) every step). Points are `[x, y, z]`
+//! uniformly — 2D deployments carry `z = 0` — matching the geometry layer.
+//!
+//! # Near-field model
+//!
+//! Free-space path loss `d^{-α}` diverges at `d → 0`; physically, received
+//! power saturates once the receiver enters the antenna near field. The
+//! model clamps the effective distance at [`SinrConfig::near_field_floor`]
+//! — [`NEAR_FIELD_FRACTION`] of the calibrated decode range — so the
+//! near-field gain cap is *scale-invariant*: co-located distinct nodes see
+//! a bounded `β·(1/NEAR_FIELD_FRACTION)^α` multiple of the noise floor
+//! regardless of whether ranges are meters or kilometers (an absolute
+//! clamp would make the cap blow up with the deployment scale).
+//!
+//! # Far-field policy
+//!
+//! The sparse step kernel resolves SINR reception through a spatial index
+//! (see [`Kernel`](crate::Kernel)); [`FarFieldPolicy`] controls how it
+//! treats far transmitters when summing interference. The default
+//! [`Exact`](FarFieldPolicy::Exact) uses the index only to find candidate
+//! *strongest* transmitters — interference stays an exact sum over all
+//! transmitters, and reports are bit-identical to the dense reference.
+//! [`Cutoff`](FarFieldPolicy::Cutoff) additionally truncates the
+//! interference sum at the distance where **total** omitted interference
+//! is provably at most `eps · noise`, trading a one-sided ≤ `eps·noise`
+//! under-estimate of the denominator for locality at scale.
 
 use serde::{Deserialize, Serialize};
+
+// The shared `[x, y, z]` distance lives beside the spatial index in the
+// geometry layer; re-exported here so reception consumers need no direct
+// `radionet_graph` import.
+pub use radionet_graph::spatial::dist3;
+
+/// Where SINR reception reads node positions from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PositionSource {
+    /// An explicit owned snapshot: node `i` sits at `positions[i]`
+    /// (`[x, y, z]`; 2D deployments set `z = 0`). The only source that
+    /// hand-ships coordinates.
+    Snapshot(Vec<[f64; 3]>),
+    /// Resolve from the generating family's own embedding
+    /// ([`Family::instantiate_positioned`]): the API driver replaces this
+    /// with a [`Snapshot`](PositionSource::Snapshot) of the generated
+    /// point set (static runs) or with [`Live`](PositionSource::Live)
+    /// (mobility runs). The engine itself rejects an unresolved
+    /// `Geometry` — it has no access to families.
+    ///
+    /// [`Family::instantiate_positioned`]:
+    /// https://docs.rs/radionet-graph (families module)
+    Geometry,
+    /// Re-read from the topology view each step
+    /// ([`TopologyView::positions`](crate::TopologyView::positions)) —
+    /// the moving point set of a mobile topology. Requires a view that
+    /// actually carries positions.
+    Live,
+}
+
+impl PositionSource {
+    /// An owned snapshot from 2D points (`z = 0`).
+    pub fn snapshot_2d(points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        PositionSource::Snapshot(points.into_iter().map(|(x, y)| [x, y, 0.0]).collect())
+    }
+}
+
+impl From<Vec<[f64; 3]>> for PositionSource {
+    fn from(points: Vec<[f64; 3]>) -> Self {
+        PositionSource::Snapshot(points)
+    }
+}
+
+impl From<Vec<(f64, f64)>> for PositionSource {
+    fn from(points: Vec<(f64, f64)>) -> Self {
+        PositionSource::snapshot_2d(points)
+    }
+}
+
+/// How the sparse kernel treats far transmitters when summing SINR
+/// interference. The dense reference kernel always computes the exact sum
+/// (it has no index to truncate with); under `Exact` the two kernels are
+/// bit-identical, under `Cutoff` the sparse kernel's denominator is
+/// under-estimated by at most `eps · noise` (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum FarFieldPolicy {
+    /// Interference is the exact sum over **all** transmitters; the
+    /// spatial index only accelerates the strongest-transmitter search.
+    /// Identical reports to the dense reference kernel.
+    #[default]
+    Exact,
+    /// Truncate the interference sum at the distance where each of the
+    /// `T` transmitters beyond it contributes at most `eps·noise / T`
+    /// received power, so the **total** omitted interference is at most
+    /// `eps · noise`. One-sided: computed SINR ≥ true SINR, so a
+    /// borderline listener may decode where `Exact` would count a
+    /// collision; with `eps ≪ β − best/(N+I)` margins the reports
+    /// coincide (pinned by tolerance tests).
+    Cutoff(f64),
+}
 
 /// Parameters of the SINR reception rule.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SinrConfig {
-    /// Node positions (one per node, in the plane).
-    pub positions: Vec<(f64, f64)>,
+    /// Where node positions come from (see the module docs).
+    pub positions: PositionSource,
     /// Path-loss exponent `α` (free space 2, urban 3–4).
     pub path_loss: f64,
     /// SINR threshold `β ≥ 1` for successful decoding.
@@ -33,7 +138,17 @@ pub struct SinrConfig {
     pub noise: f64,
     /// Uniform transmit power `P`.
     pub power: f64,
+    /// Far-transmitter treatment in the sparse kernel (default
+    /// [`FarFieldPolicy::Exact`]).
+    pub far_field: FarFieldPolicy,
 }
+
+/// Effective-distance floor as a fraction of the calibrated decode range
+/// (the near-field model; see the module docs). With the default `β = 2`,
+/// `α = 3` calibration this caps the co-located gain at `2·10⁹ ×` the
+/// noise floor — huge, but bounded and independent of the deployment
+/// scale.
+pub const NEAR_FIELD_FRACTION: f64 = 1e-3;
 
 impl SinrConfig {
     /// A standard configuration for unit-disk-scale deployments: path loss
@@ -43,34 +158,116 @@ impl SinrConfig {
     /// # Panics
     ///
     /// Panics if `range` is not strictly positive.
-    pub fn for_unit_range(positions: Vec<(f64, f64)>, range: f64) -> Self {
+    pub fn for_unit_range(positions: impl Into<PositionSource>, range: f64) -> Self {
         assert!(range > 0.0, "range must be positive");
         let path_loss = 3.0;
         let threshold = 2.0;
         let power = 1.0;
         // Decodable alone at `range`: P·range^{-α} / N = β.
         let noise = power * range.powf(-path_loss) / threshold;
-        SinrConfig { positions, path_loss, threshold, noise, power }
+        SinrConfig {
+            positions: positions.into(),
+            path_loss,
+            threshold,
+            noise,
+            power,
+            far_field: FarFieldPolicy::default(),
+        }
     }
 
-    /// Received power at distance `d` (clamped below to avoid the
-    /// singularity at 0).
+    /// The geometry-sourced standard configuration: positions come from
+    /// the generating family's embedding, calibrated to unit interaction
+    /// range (the radius of every geometric family is `O(1)`; unit disk
+    /// and unit ball use exactly `1.0`). This is what `--reception sinr`
+    /// and the SINR scenario cells use — no coordinates are hand-shipped.
+    pub fn geometric() -> Self {
+        Self::for_unit_range(PositionSource::Geometry, 1.0)
+    }
+
+    /// Selects the far-field policy (builder style).
+    pub fn with_far_field(mut self, far_field: FarFieldPolicy) -> Self {
+        self.far_field = far_field;
+        self
+    }
+
+    /// Structural validation: all physical parameters must be finite and
+    /// strictly positive (and a `Cutoff` epsilon likewise), otherwise the
+    /// decode range — and with it the reception rule — is undefined.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("path_loss", self.path_loss),
+            ("threshold", self.threshold),
+            ("noise", self.noise),
+            ("power", self.power),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("SINR {name} must be finite and positive, got {v}"));
+            }
+        }
+        if let FarFieldPolicy::Cutoff(eps) = self.far_field {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(format!("SINR cutoff epsilon must be finite and positive, got {eps}"));
+            }
+        }
+        if let PositionSource::Snapshot(points) = &self.positions {
+            if points.iter().any(|p| p.iter().any(|c| !c.is_finite())) {
+                return Err("SINR position snapshot contains a non-finite coordinate".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The calibrated decode range: the largest distance at which an
+    /// isolated transmitter still clears the threshold,
+    /// `(P / (N·β))^{1/α}`. For [`SinrConfig::for_unit_range`] this is
+    /// exactly the `range` argument. It is also the spatial-index cell
+    /// width of the sparse kernel: any transmitter decodable by some
+    /// listener sits within one cell ring of it.
+    pub fn decode_range(&self) -> f64 {
+        (self.power / (self.noise * self.threshold)).powf(1.0 / self.path_loss)
+    }
+
+    /// The near-field effective-distance floor:
+    /// [`NEAR_FIELD_FRACTION`]` × `[`decode_range`](SinrConfig::decode_range).
+    pub fn near_field_floor(&self) -> f64 {
+        NEAR_FIELD_FRACTION * self.decode_range()
+    }
+
+    /// Received power at distance `d` under the near-field model (the
+    /// effective distance is clamped below at the scale-relative
+    /// [`near_field_floor`](SinrConfig::near_field_floor), never at an
+    /// absolute constant).
     pub fn gain(&self, d: f64) -> f64 {
-        self.power * d.max(1e-6).powf(-self.path_loss)
+        self.gain_clamped(d, self.near_field_floor())
     }
 
-    /// Euclidean distance between nodes `i` and `j`.
-    pub fn dist(&self, i: usize, j: usize) -> f64 {
-        let (xi, yi) = self.positions[i];
-        let (xj, yj) = self.positions[j];
-        (xi - xj).hypot(yi - yj)
+    /// [`gain`](SinrConfig::gain) with a precomputed floor — the hot-loop
+    /// form (the floor involves a `powf` better hoisted out of per-pair
+    /// work).
+    #[inline]
+    pub fn gain_clamped(&self, d: f64, floor: f64) -> f64 {
+        self.power * d.max(floor).powf(-self.path_loss)
+    }
+
+    /// The far-field cutoff distance for `Cutoff(eps)` with `tx_count`
+    /// transmitters on the air: beyond it each transmitter contributes at
+    /// most `eps·noise / tx_count`, so the total omitted interference is
+    /// at most `eps·noise`. Never below the decode range (the decodable
+    /// signal itself is always inside the sum).
+    pub fn cutoff_distance(&self, eps: f64, tx_count: usize) -> f64 {
+        let d = (self.power * tx_count as f64 / (eps * self.noise)).powf(1.0 / self.path_loss);
+        d.max(self.decode_range())
     }
 }
 
 /// The reception rule the engine applies each time-step.
 #[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
 pub enum ReceptionMode {
-    /// The paper's protocol model (Section 1.1).
+    /// The paper's model (Section 1.1).
     #[default]
     Protocol,
     /// Protocol model with collision detection.
@@ -103,24 +300,107 @@ mod tests {
         // Closer is decodable, farther is not.
         assert!(cfg.gain(0.5) / cfg.noise > cfg.threshold);
         assert!(cfg.gain(1.5) / cfg.noise < cfg.threshold);
+        // The decode range recovers the calibration argument.
+        assert!((cfg.decode_range() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn gain_monotone() {
-        let cfg = SinrConfig::for_unit_range(vec![], 1.0);
+        let cfg = SinrConfig::for_unit_range(PositionSource::Snapshot(Vec::new()), 1.0);
         assert!(cfg.gain(0.1) > cfg.gain(0.2));
         assert!(cfg.gain(2.0) > cfg.gain(4.0));
+    }
+
+    #[test]
+    fn near_field_clamp_is_scale_relative() {
+        // Regression for the absolute 1e-6 clamp: co-located nodes must
+        // see the *same* bounded gain-to-noise ratio at every deployment
+        // scale, not a scale-dependent ~1e18 blowup.
+        let small = SinrConfig::for_unit_range(PositionSource::Snapshot(Vec::new()), 1.0);
+        let large = SinrConfig::for_unit_range(PositionSource::Snapshot(Vec::new()), 1000.0);
+        let ratio_small = small.gain(0.0) / small.noise;
+        let ratio_large = large.gain(0.0) / large.noise;
+        assert!(
+            (ratio_small / ratio_large - 1.0).abs() < 1e-9,
+            "near-field cap must be scale-invariant: {ratio_small} vs {ratio_large}"
+        );
+        // The cap equals β·(1/NEAR_FIELD_FRACTION)^α exactly.
+        let expected = small.threshold * NEAR_FIELD_FRACTION.powf(-small.path_loss);
+        assert!((ratio_small / expected - 1.0).abs() < 1e-9);
+        // And the floor saturates: below it, distance no longer matters.
+        let floor = small.near_field_floor();
+        assert_eq!(small.gain(0.0), small.gain(floor));
+        assert_eq!(small.gain(floor / 2.0), small.gain(floor));
+        assert!(small.gain(floor * 2.0) < small.gain(floor));
+    }
+
+    #[test]
+    fn cutoff_distance_bounds_omitted_interference() {
+        let cfg = SinrConfig::for_unit_range(PositionSource::Snapshot(Vec::new()), 1.0);
+        for (eps, t) in [(0.5, 10usize), (0.01, 1000), (1.0, 1)] {
+            let d = cfg.cutoff_distance(eps, t);
+            assert!(d >= cfg.decode_range(), "cutoff below decode range");
+            // A transmitter exactly at the cutoff contributes ≤ eps·noise/T.
+            assert!(cfg.gain(d) <= eps * cfg.noise / t as f64 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn validate_catches_degenerate_parameters() {
+        let good = SinrConfig::geometric();
+        assert!(good.validate().is_ok());
+        let mut bad = good.clone();
+        bad.noise = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.path_loss = f64::NAN;
+        assert!(bad.validate().is_err());
+        let bad = good.clone().with_far_field(FarFieldPolicy::Cutoff(-1.0));
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.positions = PositionSource::Snapshot(vec![[0.0, f64::INFINITY, 0.0]]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn position_source_conversions() {
+        let from_2d: PositionSource = vec![(1.0, 2.0)].into();
+        assert_eq!(from_2d, PositionSource::Snapshot(vec![[1.0, 2.0, 0.0]]));
+        let from_3d: PositionSource = vec![[1.0, 2.0, 3.0]].into();
+        assert_eq!(from_3d, PositionSource::Snapshot(vec![[1.0, 2.0, 3.0]]));
+    }
+
+    #[test]
+    fn dist3_covers_both_dimensions() {
+        assert!((dist3(&[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]) - 5.0).abs() < 1e-12);
+        assert!((dist3(&[0.0, 0.0, 0.0], &[1.0, 2.0, 2.0]) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn names() {
         assert_eq!(ReceptionMode::Protocol.name(), "protocol");
         assert_eq!(ReceptionMode::ProtocolCd.name(), "protocol+cd");
-        assert_eq!(ReceptionMode::Sinr(SinrConfig::for_unit_range(vec![], 1.0)).name(), "sinr");
+        assert_eq!(ReceptionMode::Sinr(SinrConfig::geometric()).name(), "sinr");
     }
 
     #[test]
     fn default_is_protocol() {
         assert_eq!(ReceptionMode::default(), ReceptionMode::Protocol);
+    }
+
+    #[test]
+    fn serde_round_trips_every_source_and_policy() {
+        let configs = [
+            SinrConfig::for_unit_range(vec![(0.0, 0.0), (0.5, 0.25)], 1.0),
+            SinrConfig::geometric(),
+            SinrConfig::for_unit_range(PositionSource::Live, 2.0)
+                .with_far_field(FarFieldPolicy::Cutoff(0.125)),
+        ];
+        for cfg in configs {
+            let mode = ReceptionMode::Sinr(cfg);
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: ReceptionMode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, mode);
+        }
     }
 }

@@ -20,6 +20,12 @@ pub struct SimStats {
     pub deliveries: u64,
     /// Listener-side collisions (≥ 2 transmitting neighbors).
     pub collisions: u64,
+    /// Phases that requested [`Kernel::Sparse`](crate::Kernel::Sparse) but
+    /// executed the dense reference kernel because the topology view has
+    /// no change feed. Zero on every healthy configuration — a nonzero
+    /// count means the run silently paid `Θ(n)` per step and should be
+    /// surfaced, not ignored (the CLI warns on it).
+    pub kernel_fallbacks: u64,
 }
 
 impl SimStats {
@@ -33,6 +39,7 @@ impl SimStats {
         self.transmissions += rep.transmissions;
         self.deliveries += rep.deliveries;
         self.collisions += rep.collisions;
+        self.kernel_fallbacks += u64::from(rep.fell_back);
     }
 }
 
@@ -49,6 +56,7 @@ mod tests {
             deliveries: 3,
             collisions: 1,
             completed: true,
+            fell_back: false,
         });
         s.absorb_phase(&PhaseReport {
             steps: 2,
@@ -56,11 +64,13 @@ mod tests {
             deliveries: 2,
             collisions: 0,
             completed: false,
+            fell_back: true,
         });
         assert_eq!(s.simulated_steps, 12);
         assert_eq!(s.transmissions, 7);
         assert_eq!(s.deliveries, 5);
         assert_eq!(s.collisions, 1);
+        assert_eq!(s.kernel_fallbacks, 1);
         assert_eq!(s.total_steps(), 12);
     }
 }

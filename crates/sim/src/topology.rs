@@ -92,6 +92,28 @@ pub trait TopologyView {
     fn jammed_nodes(&self) -> &[NodeId] {
         &[]
     }
+
+    /// The current node positions (`[x, y, z]`, one per node), when this
+    /// view derives its topology from geometry — what
+    /// `PositionSource::Live` SINR reception reads after every
+    /// [`advance_to`](TopologyView::advance_to). Purely structural views
+    /// return `None` (the default), which makes live-position SINR a
+    /// construction-time error ([`Sim::try_with_topology`]).
+    ///
+    /// [`Sim::try_with_topology`]: crate::Sim::try_with_topology
+    fn positions(&self) -> Option<&[[f64; 3]]> {
+        None
+    }
+
+    /// A version stamp for [`positions`](TopologyView::positions): must
+    /// change whenever any position may have moved since the previous
+    /// call. The engine caches position-derived structures (the sparse
+    /// SINR kernel's spatial index) keyed on this value, so a stale stamp
+    /// means stale reception geometry. Constant (`0`) for views whose
+    /// positions never move.
+    fn positions_version(&self) -> u64 {
+        0
+    }
 }
 
 /// The paper's model: the base graph itself, always-on, never jammed.

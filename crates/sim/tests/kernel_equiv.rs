@@ -269,14 +269,44 @@ where
     S: PartialEq + std::fmt::Debug,
     P: Snapshot<S>,
 {
+    both_kernels_with(mk, view, g, seed, steps, ReceptionMode::Protocol)
+}
+
+fn both_kernels_with<P, F, S>(
+    mk: F,
+    view: &ScriptView,
+    g: &Graph,
+    seed: u64,
+    steps: u64,
+    reception: ReceptionMode,
+) -> [(PhaseReport, SimStats, u64, Vec<S>); 2]
+where
+    P: Protocol,
+    F: Fn(usize) -> P,
+    S: PartialEq + std::fmt::Debug,
+    P: Snapshot<S>,
+{
     [Kernel::Sparse, Kernel::Dense].map(|kernel| {
         let info = NetInfo { n: g.n().max(2), d: 4, alpha: (g.n() as f64).max(2.0) };
-        let mut sim = Sim::with_topology(g, view.clone(), info, seed, ReceptionMode::Protocol);
+        let mut sim = Sim::with_topology(g, view.clone(), info, seed, reception.clone());
         sim.set_kernel(kernel);
         let mut states: Vec<P> = (0..g.n()).map(&mk).collect();
         let rep = sim.run_phase(&mut states, steps);
         (rep, *sim.stats(), sim.rng_fingerprint(), states.iter().map(Snapshot::snapshot).collect())
     })
+}
+
+/// A position snapshot scattering `n` nodes over a square whose side keeps
+/// density roughly constant — the regime where SINR capture, interference
+/// loss, and clean decodes all occur.
+fn arb_positions(n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    let side = (n as f64).sqrt() * 1.8 + 1.0;
+    proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), n..=n)
+        .prop_map(move |raw| raw.into_iter().map(|(x, y)| [x * side, y * side, 0.0]).collect())
+}
+
+fn sinr_mode(points: Vec<[f64; 3]>) -> ReceptionMode {
+    ReceptionMode::Sinr(radionet_sim::SinrConfig::for_unit_range(points, 1.0))
 }
 
 /// Extracts the externally observable state for comparison.
@@ -415,6 +445,133 @@ proptest! {
             &view, &g, seed, steps,
         );
         prop_assert_eq!(a, b);
+    }
+
+    /// SINR reception on a static topology: the spatially-indexed sparse
+    /// resolution must be bit-identical to the dense O(L×T) scan —
+    /// reports, stats (incl. the fallback counter), RNG streams, state.
+    #[test]
+    fn talkers_agree_under_sinr(
+        g in arb_graph(),
+        seed in 0u64..1000,
+        p in 1u32..700,
+        steps in 1u64..60,
+    ) {
+        let n = g.n();
+        let view = ScriptView::new(vec![None; n], vec![None; n]);
+        let [a, b] = both_kernels_with(
+            |_| Talker { p_milli: p, sent: 0, heard: Vec::new() },
+            &view, &g, seed, steps,
+            sinr_mode((0..n).map(|i| {
+                // Deterministic scatter keyed on the seed: positions must
+                // be identical across the two kernel runs.
+                let h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64);
+                let side = (n as f64).sqrt() * 1.8 + 1.0;
+                let x = (h % 1024) as f64 / 1024.0 * side;
+                let y = ((h >> 10) % 1024) as f64 / 1024.0 * side;
+                [x, y, 0.0]
+            }).collect()),
+        );
+        prop_assert_eq!(a.0.fell_back, false, "SINR must run sparse");
+        prop_assert_eq!(a, b);
+    }
+
+    /// SINR under scripted dynamics (crash/rejoin windows + jam windows):
+    /// physical reception composes with node-state events identically in
+    /// both kernels.
+    #[test]
+    fn talkers_agree_under_sinr_with_dynamics(
+        case in arb_dynamic_case(),
+        positions_seed in 0u64..1000,
+        seed in 0u64..1000,
+        steps in 1u64..60,
+    ) {
+        let (g, view) = case;
+        let n = g.n();
+        let side = (n as f64).sqrt() * 1.8 + 1.0;
+        let pts: Vec<[f64; 3]> = (0..n).map(|i| {
+            let h = positions_seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(i as u64 * 7);
+            [(h % 2048) as f64 / 2048.0 * side, ((h >> 11) % 2048) as f64 / 2048.0 * side, 0.0]
+        }).collect();
+        let [a, b] = both_kernels_with(
+            |_| Talker { p_milli: 300, sent: 0, heard: Vec::new() },
+            &view, &g, seed, steps,
+            sinr_mode(pts),
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    /// Flooders (re-engagement via on_hear) under SINR: the sparse
+    /// kernel's post-delivery wake handling must match on physically
+    /// delivered messages too.
+    #[test]
+    fn flooders_agree_under_sinr(
+        g in arb_graph(),
+        pts in (3usize..32).prop_flat_map(arb_positions),
+        seed in 0u64..1000,
+        active_for in 1u64..16,
+        steps in 1u64..90,
+    ) {
+        let n = g.n();
+        let mut pts = pts;
+        pts.resize(n, [0.5, 0.5, 0.0]);
+        let view = ScriptView::new(vec![None; n], vec![None; n]);
+        let [a, b] = both_kernels_with(
+            |i| Flooder {
+                best: (i == 0).then_some(100),
+                active_steps: 0,
+                active_for,
+                heard: 0,
+            },
+            &view, &g, seed, steps,
+            sinr_mode(pts),
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cutoff ≈ Exact: with the tolerance epsilon the truncated
+    /// interference sum may only flip borderline collisions into
+    /// deliveries (one-sided), and with a tiny epsilon the cutoff radius
+    /// covers everything, reproducing Exact bit-for-bit.
+    #[test]
+    fn cutoff_is_one_sided_and_tight_at_small_eps(
+        g in arb_graph(),
+        pts in (3usize..32).prop_flat_map(arb_positions),
+        seed in 0u64..1000,
+        steps in 1u64..50,
+    ) {
+        use radionet_sim::{FarFieldPolicy, SinrConfig};
+        let n = g.n();
+        let mut pts = pts;
+        pts.resize(n, [0.5, 0.5, 0.0]);
+        let view = ScriptView::new(vec![None; n], vec![None; n]);
+        let run = |far_field| {
+            let cfg = SinrConfig::for_unit_range(pts.clone(), 1.0).with_far_field(far_field);
+            both_kernels_with(
+                |_| Talker { p_milli: 400, sent: 0, heard: Vec::new() },
+                &view, &g, seed, steps,
+                ReceptionMode::Sinr(cfg),
+            )
+        };
+        let [exact_sparse, exact_dense] = run(FarFieldPolicy::Exact);
+        prop_assert_eq!(&exact_sparse, &exact_dense);
+        // A sub-nano epsilon pushes the cutoff radius beyond every pair
+        // distance here, so the sparse run must equal Exact exactly.
+        let [tight, _] = run(FarFieldPolicy::Cutoff(1e-12));
+        prop_assert_eq!(&tight, &exact_sparse);
+        // A loose epsilon: one-sided — truncating interference can only
+        // raise the computed SINR, so each flip converts a collision into
+        // a delivery. Talkers transmit independently of what they hear,
+        // so the per-step decodable set is identical and the
+        // delivery+collision total is conserved exactly.
+        let [loose, _] = run(FarFieldPolicy::Cutoff(0.25));
+        prop_assert_eq!(loose.0.transmissions, exact_sparse.0.transmissions);
+        prop_assert!(loose.0.deliveries >= exact_sparse.0.deliveries);
+        prop_assert!(loose.0.collisions <= exact_sparse.0.collisions);
+        prop_assert_eq!(
+            loose.0.deliveries + loose.0.collisions,
+            exact_sparse.0.deliveries + exact_sparse.0.collisions
+        );
     }
 }
 

@@ -22,7 +22,7 @@ use radionet::api::{
 use radionet::graph::families::Family;
 use radionet::scenario::runner::{spec_for_cell, SweepConfig};
 use radionet::scenario::Scenario;
-use radionet::sim::{Kernel, ReceptionMode};
+use radionet::sim::{Kernel, ReceptionMode, SinrConfig};
 use serde::Serialize;
 use std::io::Write;
 use std::process::ExitCode;
@@ -48,7 +48,10 @@ RUN OPTIONS:
   --family NAME       graph family                 [default: grid]
   --n N               requested node count         [default: 64]
   --seed S            cell seed                    [default: 0]
-  --reception MODE    protocol | protocol+cd       [default: protocol]
+  --reception MODE    protocol | protocol+cd | sinr (physical reception
+                      from the family's embedding — or the live moving
+                      point set under mobility dynamics; custom SINR
+                      physics go through --spec)    [default: protocol]
   --kernel K          sparse | dense               [default: sparse]
   --dynamics NAME     static | churn | partition-repair | jamming |
                       staggered-wake | mobility:waypoint | mobility:walk |
@@ -150,8 +153,14 @@ fn parse_reception(name: &str) -> Result<ReceptionMode, String> {
     match name {
         "protocol" => Ok(ReceptionMode::Protocol),
         "protocol+cd" | "cd" => Ok(ReceptionMode::ProtocolCd),
+        // Geometry-sourced physical reception: positions come from the
+        // family's own embedding (static) or the live moving point set
+        // (mobility dynamics) — no hand-shipped coordinates. Custom
+        // physics or explicit snapshots go through --spec.
+        "sinr" => Ok(ReceptionMode::Sinr(SinrConfig::geometric())),
         other => Err(format!(
-            "unknown reception {other:?}; protocol or protocol+cd (SINR needs --spec with positions)"
+            "unknown reception {other:?}; protocol, protocol+cd, or sinr \
+             (geometric families; custom SINR configs go through --spec)"
         )),
     }
 }
@@ -234,6 +243,15 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
         spec = serde_json::from_str(&json).map_err(|e| format!("bad spec in {path}: {e}"))?;
     }
     let report = Driver::standard().run(&spec).map_err(|e| e.to_string())?;
+    if report.stats.kernel_fallbacks > 0 {
+        // Never silent: the run asked for the sparse kernel but (some of)
+        // its phases executed the dense reference.
+        eprintln!(
+            "warning: {} phase(s) fell back to the dense kernel \
+             (the topology view has no change feed); see stats.kernel_fallbacks",
+            report.stats.kernel_fallbacks
+        );
+    }
     let rendered = render(&report, compact)?;
     let mut w = open_out(out.as_deref())?;
     writeln!(w, "{rendered}").and_then(|()| w.flush()).map_err(|e| e.to_string())
@@ -265,6 +283,27 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         }
     }
 
+    // Delegating sink that tallies kernel fallbacks across the sweep so a
+    // silently-degraded cell is reported on stderr, matching `run`'s
+    // warning (the counts also sit in every cell's stats.kernel_fallbacks).
+    struct FallbackTally<'a> {
+        inner: &'a mut dyn ResultSink,
+        fallbacks: u64,
+        cells: u64,
+    }
+    impl ResultSink for FallbackTally<'_> {
+        fn emit(&mut self, report: &RunReport) -> std::io::Result<()> {
+            if report.stats.kernel_fallbacks > 0 {
+                self.fallbacks += report.stats.kernel_fallbacks;
+                self.cells += 1;
+            }
+            self.inner.emit(report)
+        }
+        fn finish(&mut self) -> std::io::Result<()> {
+            self.inner.finish()
+        }
+    }
+
     let mut scenarios = Scenario::extended_catalogue();
     if !names.is_empty() {
         for name in &names {
@@ -287,9 +326,17 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     // the sweep's memory footprint is O(chunk) regardless of its size.
     let specs = config.cells_iter().map(|cell| spec_for_cell(&cell, kernel));
     let driver = Driver::standard();
+    let mut tally = FallbackTally { inner: sink.as_mut(), fallbacks: 0, cells: 0 };
     let emitted = driver
-        .run_sweep_streaming(specs, if sequential { 1 } else { chunk }, sink.as_mut())
+        .run_sweep_streaming(specs, if sequential { 1 } else { chunk }, &mut tally)
         .map_err(|e| e.to_string())?;
+    if tally.fallbacks > 0 {
+        eprintln!(
+            "warning: {} phase(s) across {} cell(s) fell back to the dense kernel \
+             (topology views without a change feed); see stats.kernel_fallbacks",
+            tally.fallbacks, tally.cells
+        );
+    }
     eprintln!("{emitted} cells swept");
     Ok(())
 }

@@ -280,6 +280,25 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize> Serialize for [T; 3] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for [T; 3] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok([
+                T::from_value(&items[0])?,
+                T::from_value(&items[1])?,
+                T::from_value(&items[2])?,
+            ]),
+            other => Err(DeError::msg(format!("expected 3-element array, found {}", other.kind()))),
+        }
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -360,6 +379,11 @@ mod tests {
         let o: Option<u32> = None;
         assert_eq!(o.to_value(), Value::Null);
         assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = <[f64; 3]>::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+        assert!(<[f64; 3]>::from_value(&Value::Array(vec![Value::U64(1)])).is_err());
     }
 
     #[test]
