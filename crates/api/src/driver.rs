@@ -6,10 +6,12 @@ use crate::registry::TaskRegistry;
 use crate::seeds;
 use crate::sink::ResultSink;
 use crate::spec::{Dynamics, RunSpec};
-use crate::task::{TaskCtx, TaskOutcome};
+use crate::task::{Task, TaskCtx, TaskOutcome};
 use crate::topology::RunTopology;
+use radionet_graph::Graph;
+use radionet_journal::{Journal, JournalSummary, Recorder};
 use radionet_mobility::{MobileTopology, MobilityTrace};
-use radionet_sim::{NetInfo, PositionSource, ReceptionMode, Sim, SimStats};
+use radionet_sim::{JournalSink, NetInfo, PositionSource, ReceptionMode, Sim, SimStats};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +80,50 @@ pub struct RunReport {
     /// time-resolved α-bounds/diameter samples recorded as the nodes
     /// moved. `None` for scripted dynamics.
     pub mobility: Option<MobilityTrace>,
+    /// Journaled runs only ([`Driver::run_journaled`]): per-class event
+    /// counters and the rolling digest of the recording. `None` for plain
+    /// runs, which execute on the zero-cost null sink.
+    pub journal: Option<JournalSummary>,
+}
+
+/// One fully materialized cell, ready for a simulator of either sink type.
+struct Materialized<'d> {
+    task: &'d dyn Task,
+    g: Graph,
+    info: NetInfo,
+    topo: RunTopology,
+    n_events: usize,
+    reception: ReceptionMode,
+    ctx: TaskCtx,
+}
+
+/// Assembles the [`RunReport`] both driver entry points share. Generic
+/// over the sink so the journaled path reads the same accessors.
+fn assemble_report<J: JournalSink>(
+    spec: &RunSpec,
+    g: &Graph,
+    info: NetInfo,
+    n_events: usize,
+    sim: &Sim<'_, RunTopology, J>,
+    outcome: TaskOutcome,
+    journal: Option<JournalSummary>,
+) -> RunReport {
+    RunReport {
+        spec: spec.clone(),
+        n: g.n(),
+        d: info.d,
+        alpha: info.alpha,
+        events: n_events,
+        success: outcome.success(),
+        achieved: outcome.achieved(),
+        clock_done: outcome.clock_done(),
+        outcome,
+        clock_total: sim.clock(),
+        stats: *sim.stats(),
+        rng_fingerprint: sim.rng_fingerprint(),
+        mobility: sim.topology().mobile().map(MobileTopology::to_trace),
+        journal,
+    }
 }
 
 /// Executes [`RunSpec`]s against a [`TaskRegistry`].
@@ -124,8 +170,69 @@ impl Driver {
     ///
     /// Pure: identical specs yield bit-identical reports (the scenario
     /// equivalence suite pins this against the pre-façade runner for the
-    /// whole catalogue, under both kernels).
+    /// whole catalogue, under both kernels). A spec's `journal` section is
+    /// ignored here — plain runs always execute on the zero-cost null
+    /// sink; use [`Driver::run_journaled`] to record.
     pub fn run(&self, spec: &RunSpec) -> Result<RunReport, RunError> {
+        let m = self.materialize(spec)?;
+        let mut sim =
+            Sim::try_with_topology(&m.g, m.topo, m.info, seeds::sim_seed(spec.seed), m.reception)
+                .map_err(|e| RunError::InvalidSpec(e.to_string()))?;
+        sim.set_kernel(spec.kernel);
+        let outcome = m.task.run(&mut sim, &m.ctx);
+        Ok(assemble_report(spec, &m.g, m.info, m.n_events, &sim, outcome, None))
+    }
+
+    /// Runs one spec with a live [`Recorder`], returning the report (its
+    /// `journal` field filled with the recording's [`JournalSummary`]) and
+    /// the frozen [`Journal`] itself. The journal embeds the spec, so
+    /// [`replay`](crate::journal::replay) can re-drive it later from the
+    /// serialized document alone.
+    ///
+    /// The spec's `journal` section selects the class filter and waypoint
+    /// cadence; a missing section records everything with the derived
+    /// default cadence. The recorded event stream is pure in the spec; of
+    /// the journal's fields only `wall_nanos` is not.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Driver::run`].
+    pub fn run_journaled(&self, spec: &RunSpec) -> Result<(RunReport, Journal), RunError> {
+        let m = self.materialize(spec)?;
+        let jspec = spec.journal.clone().unwrap_or_default();
+        let mask = jspec.mask().map_err(RunError::InvalidSpec)?;
+        let cadence = jspec.cadence(m.task.timebase(&m.info));
+        let started = std::time::Instant::now();
+        let mut sim = Sim::try_with_journal(
+            &m.g,
+            m.topo,
+            m.info,
+            seeds::sim_seed(spec.seed),
+            m.reception,
+            Recorder::new(mask, cadence),
+        )
+        .map_err(|e| RunError::InvalidSpec(e.to_string()))?;
+        sim.set_kernel(spec.kernel);
+        let outcome = m.task.run_recorded(&mut sim, &m.ctx);
+        let fingerprint = sim.rng_fingerprint();
+        let report = assemble_report(spec, &m.g, m.info, m.n_events, &sim, outcome, None);
+        let journal = sim.into_journal().into_journal(
+            concat!("radionet ", env!("CARGO_PKG_VERSION")),
+            spec.kernel.name(),
+            Some(spec.to_value()),
+            fingerprint,
+            started.elapsed().as_nanos() as u64,
+        );
+        let report = RunReport { journal: Some(journal.summary()), ..report };
+        Ok((report, journal))
+    }
+
+    /// Everything [`Driver::run`] does before a simulator exists:
+    /// validation, task lookup, family instantiation, [`NetInfo`]
+    /// measurement, dynamics materialization, and SINR position
+    /// resolution. Shared verbatim between the null-sink and recorded
+    /// entry points so a journaled run drives the exact same cell.
+    fn materialize(&self, spec: &RunSpec) -> Result<Materialized<'_>, RunError> {
         spec.validate().map_err(RunError::InvalidSpec)?;
         let task = self
             .registry
@@ -235,33 +342,12 @@ impl Driver {
                 (g, info, topo, n_events, reception)
             }
         };
-        let mut sim = Sim::try_with_topology(&g, topo, info, seeds::sim_seed(spec.seed), reception)
-            .map_err(|e| RunError::InvalidSpec(e.to_string()))?;
-        sim.set_kernel(spec.kernel);
-
         let ctx = TaskCtx {
             seed: spec.seed,
             lottery_seed: seeds::lottery_seed(spec.seed),
             step_cap: spec.steps,
         };
-        let outcome = task.run(&mut sim, &ctx);
-        let mobility = sim.topology().mobile().map(MobileTopology::to_trace);
-
-        Ok(RunReport {
-            spec: spec.clone(),
-            n: g.n(),
-            d: info.d,
-            alpha: info.alpha,
-            events: n_events,
-            success: outcome.success(),
-            achieved: outcome.achieved(),
-            clock_done: outcome.clock_done(),
-            outcome,
-            clock_total: sim.clock(),
-            stats: *sim.stats(),
-            rng_fingerprint: sim.rng_fingerprint(),
-            mobility,
-        })
+        Ok(Materialized { task, g, info, topo, n_events, reception, ctx })
     }
 
     /// Runs specs in order on the current thread, streaming each report to

@@ -1,0 +1,138 @@
+//! Replay and divergence tooling over recorded [`Journal`]s.
+//!
+//! A journal produced by [`Driver::run_journaled`] embeds its [`RunSpec`],
+//! so the serialized document alone suffices to re-drive the run:
+//! [`replay`] re-executes the spec under the recorded class filter and
+//! waypoint cadence and compares the two event streams with the journal
+//! crate's waypoint-bisecting differ. Identical streams mean the recording
+//! is reproducible on this build; a divergence names the exact first
+//! differing `(step, event)` pair — which is the `radionet replay` /
+//! `radionet bisect` CLI story.
+
+use crate::driver::{Driver, RunError, RunReport};
+use crate::spec::{JournalSpec, RunSpec};
+use radionet_journal::{bisect, BisectReport, ClassMask, Journal};
+use serde::Deserialize;
+
+/// The result of re-driving a recorded run: the fresh report, the fresh
+/// recording, and the stream comparison against the original.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The report of the replay run.
+    pub report: RunReport,
+    /// The journal the replay recorded.
+    pub replayed: Journal,
+    /// Recorded vs. replayed, compared over every class both kept.
+    pub comparison: BisectReport,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay reproduced the recording event-for-event.
+    pub fn matches(&self) -> bool {
+        !self.comparison.is_divergent()
+    }
+}
+
+/// Extracts the [`RunSpec`] a journal was recorded under.
+///
+/// # Errors
+///
+/// [`RunError::InvalidSpec`] when the journal carries no spec (it was not
+/// produced by [`Driver::run_journaled`]) or the embedded spec no longer
+/// parses.
+pub fn spec_of(journal: &Journal) -> Result<RunSpec, RunError> {
+    let value = journal.spec.as_ref().ok_or_else(|| {
+        RunError::InvalidSpec(
+            "journal carries no embedded spec; record with `radionet run --journal`".into(),
+        )
+    })?;
+    RunSpec::from_value(value)
+        .map_err(|e| RunError::InvalidSpec(format!("embedded journal spec does not parse: {e}")))
+}
+
+/// Re-drives a recorded journal's spec and compares the fresh event stream
+/// against the recording.
+///
+/// The replay runs under the *recorded* class filter and waypoint cadence
+/// (not whatever the embedded spec's journal section says), so the two
+/// streams are compared like for like.
+///
+/// # Errors
+///
+/// Propagates [`spec_of`] failures and every [`Driver::run_journaled`]
+/// failure mode.
+pub fn replay(driver: &Driver, recorded: &Journal) -> Result<ReplayOutcome, RunError> {
+    let mut spec = spec_of(recorded)?;
+    spec.journal = Some(JournalSpec {
+        classes: mask_string(recorded.mask),
+        checkpoint_every: recorded.checkpoint_every,
+    });
+    let (report, replayed) = driver.run_journaled(&spec)?;
+    let comparison = bisect(recorded, &replayed, ClassMask::ALL);
+    Ok(ReplayOutcome { report, replayed, comparison })
+}
+
+/// The spec-side spelling of a class mask (`ClassMask::parse` inverse).
+fn mask_string(mask: ClassMask) -> String {
+    let names = mask.names();
+    if names.is_empty() {
+        "none".into()
+    } else {
+        names.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::families::Family;
+    use radionet_journal::{Event, EventKind, TransmitInfo};
+
+    fn journaled_spec() -> RunSpec {
+        RunSpec::new("broadcast", Family::Grid, 25)
+            .with_seed(3)
+            .with_journal(JournalSpec { classes: "all".into(), checkpoint_every: 8 })
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_run_bit_for_bit() {
+        let driver = Driver::standard();
+        let (report, journal) = driver.run_journaled(&journaled_spec()).unwrap();
+        assert_eq!(report.journal, Some(journal.summary()));
+        // Serialize → parse → replay: the full CLI round trip.
+        let parsed = Journal::from_json_str(&journal.to_json_string().unwrap()).unwrap();
+        let out = replay(&driver, &parsed).unwrap();
+        assert!(out.matches(), "replay diverged: {}", out.comparison);
+        assert_eq!(out.replayed.final_fingerprint, journal.final_fingerprint);
+        assert_eq!(out.replayed.events, journal.events);
+        assert_eq!(out.replayed.waypoints, journal.waypoints);
+    }
+
+    #[test]
+    fn replay_pinpoints_a_perturbed_event() {
+        let driver = Driver::standard();
+        let (_report, mut journal) = driver.run_journaled(&journaled_spec()).unwrap();
+        // Corrupt one mid-stream transmission, as a broken engine would.
+        let idx = journal
+            .events
+            .iter()
+            .position(|e| e.step > 10 && matches!(e.kind, EventKind::Transmit(_)))
+            .expect("a grid broadcast transmits after step 10");
+        let step = journal.events[idx].step;
+        journal.events[idx] =
+            Event { step, kind: EventKind::Transmit(TransmitInfo { node: 9999 }) };
+        let out = replay(&driver, &journal).unwrap();
+        assert!(!out.matches());
+        let divergence = out.comparison.divergence.as_ref().expect("divergence located");
+        assert_eq!(divergence.step, step, "bisect names the corrupted step");
+    }
+
+    #[test]
+    fn spec_of_requires_an_embedded_spec() {
+        let driver = Driver::standard();
+        let (_report, mut journal) = driver.run_journaled(&journaled_spec()).unwrap();
+        journal.spec = None;
+        let err = replay(&driver, &journal).unwrap_err();
+        assert!(matches!(err, RunError::InvalidSpec(_)), "{err}");
+    }
+}

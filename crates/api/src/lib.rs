@@ -31,7 +31,11 @@
 //!   are re-derived from moving geometry
 //!   ([`Dynamics::Mobility`] recipes);
 //! * [`seeds`] — the shared deterministic seed derivation: identical specs
-//!   produce bit-identical reports anywhere.
+//!   produce bit-identical reports anywhere;
+//! * [`journal`] — replay and divergence tooling over the event journals
+//!   [`Driver::run_journaled`] records (see `radionet-journal`): re-drive
+//!   a recorded run and binary-search two recordings to their first
+//!   differing event.
 //!
 //! ```
 //! use radionet_api::{Driver, Dynamics, RunSpec};
@@ -57,6 +61,7 @@
 pub mod driver;
 pub mod dynamics;
 pub mod events;
+pub mod journal;
 pub mod registry;
 pub mod seeds;
 pub mod sink;
@@ -66,9 +71,12 @@ pub mod tasks;
 pub mod topology;
 
 pub use driver::{Driver, RunError, RunReport};
+pub use journal::{replay, spec_of, ReplayOutcome};
 pub use registry::TaskRegistry;
 pub use sink::{JsonArraySink, JsonlSink, MemorySink, ResultSink};
-pub use spec::{ChurnSpec, Dynamics, JamSpec, MobilitySpec, PartitionSpec, RunSpec, StaggerSpec};
+pub use spec::{
+    ChurnSpec, Dynamics, JamSpec, JournalSpec, MobilitySpec, PartitionSpec, RunSpec, StaggerSpec,
+};
 pub use task::{
     BroadcastSummary, ElectionSummary, MisSummary, PartitionSummary, Task, TaskCtx, TaskOutcome,
     WakeupSummary,

@@ -7,9 +7,51 @@ use crate::events::{EventKind, ScenarioEvent};
 use crate::seeds::mix;
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
+use radionet_journal::ClassMask;
 use radionet_mobility::{GroupDriftParams, MobilityModel, WalkParams, WaypointParams};
 use radionet_sim::{Kernel, PositionSource, ReceptionMode};
 use serde::{Deserialize, Serialize};
+
+/// What to record while a run executes (see `radionet-journal`). Absent
+/// from a spec (`RunSpec::journal = None`), the run executes on the
+/// zero-cost [`NullSink`](radionet_sim::NullSink) — the engine's journal
+/// branches fold away at compile time and nothing is recorded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JournalSpec {
+    /// Comma-separated event classes to keep (`"radio,topology,phase,sched"`;
+    /// `"all"`/empty keeps everything, `"none"` records waypoints only).
+    pub classes: String,
+    /// Waypoint cadence in completed steps; `0` lets the driver derive one
+    /// from the task's timebase (≈ timebase / 8).
+    pub checkpoint_every: u64,
+}
+
+impl Default for JournalSpec {
+    fn default() -> Self {
+        JournalSpec { classes: "all".into(), checkpoint_every: 0 }
+    }
+}
+
+impl JournalSpec {
+    /// The parsed class filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown class token verbatim.
+    pub fn mask(&self) -> Result<ClassMask, String> {
+        ClassMask::parse(&self.classes)
+    }
+
+    /// Resolves the waypoint cadence against a task timebase: an explicit
+    /// cadence wins, `0` derives `max(timebase / 8, 1)`.
+    pub fn cadence(&self, timebase: u64) -> u64 {
+        if self.checkpoint_every != 0 {
+            self.checkpoint_every
+        } else {
+            (timebase / 8).max(1)
+        }
+    }
+}
 
 /// Staggered (asynchronous) wake-up: every node except 0 wakes at a
 /// deterministic pseudo-random time in `[0, spread × timebase]`.
@@ -306,6 +348,11 @@ pub struct RunSpec {
     ///
     /// [`NetInfo`]: radionet_sim::NetInfo
     pub steps: Option<u64>,
+    /// Optional observability section: what
+    /// [`Driver::run_journaled`](crate::Driver::run_journaled) records.
+    /// `None` (the default, and what journal-less legacy specs parse to)
+    /// runs on the zero-cost null sink.
+    pub journal: Option<JournalSpec>,
     /// The cell seed every random choice derives from.
     pub seed: u64,
 }
@@ -322,6 +369,7 @@ impl RunSpec {
             kernel: Kernel::default(),
             dynamics: Dynamics::Static,
             steps: None,
+            journal: None,
             seed: 0,
         }
     }
@@ -350,6 +398,12 @@ impl RunSpec {
         self
     }
 
+    /// Sets the journal section.
+    pub fn with_journal(mut self, journal: JournalSpec) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// Structural validation that needs no registry: the family size
     /// floor, the mobility × family compatibility rule, and the
     /// SINR position-source × dynamics compatibility rules.
@@ -360,6 +414,9 @@ impl RunSpec {
     pub fn validate(&self) -> Result<(), String> {
         if self.n < 4 {
             return Err(format!("n = {} but graph families need n >= 4", self.n));
+        }
+        if let Some(journal) = &self.journal {
+            journal.mask()?;
         }
         let mobility = matches!(self.dynamics, Dynamics::Mobility(_));
         if mobility && !self.family.has_embedding() {
@@ -466,5 +523,21 @@ mod tests {
     fn validate_rejects_degenerate_specs() {
         assert!(RunSpec::new("broadcast", Family::Grid, 3).validate().is_err());
         assert!(RunSpec::new("broadcast", Family::Grid, 36).validate().is_ok());
+    }
+
+    #[test]
+    fn journal_section_validates_and_defaults_off() {
+        let spec = RunSpec::new("broadcast", Family::Grid, 36);
+        assert!(spec.journal.is_none(), "journaling is opt-in");
+        let ok = spec
+            .clone()
+            .with_journal(JournalSpec { classes: "radio,phase".into(), checkpoint_every: 32 });
+        assert!(ok.validate().is_ok());
+        let bad = spec.with_journal(JournalSpec { classes: "radioo".into(), checkpoint_every: 0 });
+        assert!(bad.validate().is_err());
+        // Cadence resolution: explicit wins; 0 derives from the timebase.
+        assert_eq!(JournalSpec::default().cadence(80), 10);
+        assert_eq!(JournalSpec { classes: "all".into(), checkpoint_every: 7 }.cadence(80), 7);
+        assert_eq!(JournalSpec::default().cadence(0), 1, "cadence never degenerates to 0");
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::spec::RunSpec;
 use crate::topology::RunTopology;
+use radionet_journal::Recorder;
 use radionet_sim::{NetInfo, Sim};
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +87,20 @@ pub trait Task: Send + Sync {
     /// construction, event materialization, and kernel selection; the task
     /// only runs its protocol and summarizes the outcome.
     fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome;
+
+    /// [`Task::run`], but on a simulator recording an event journal
+    /// (`Sim` is monomorphic over its sink, so the two instantiations need
+    /// separate object-safe entry points). Implementations share one
+    /// sink-generic body between both methods — see any task in
+    /// [`tasks`](crate::tasks); the run itself must not depend on the sink
+    /// (recording is observation, never steering).
+    ///
+    /// The default panics: a task without this override cannot run under
+    /// [`Driver::run_journaled`](crate::Driver::run_journaled).
+    fn run_recorded(&self, sim: &mut Sim<'_, RunTopology, Recorder>, ctx: &TaskCtx) -> TaskOutcome {
+        let _ = (sim, ctx);
+        unimplemented!("task {:?} does not implement run_recorded (journaled runs)", self.key())
+    }
 }
 
 /// Summary of a message dissemination (single- or multi-source).

@@ -30,7 +30,8 @@ use radionet_core::broadcast::run_broadcast;
 use radionet_core::compete::CompeteConfig;
 use radionet_core::leader_election::{run_leader_election, LeaderElectionConfig};
 use radionet_core::mis::{run_radio_mis, MisConfig};
-use radionet_sim::{NetInfo, ReceptionMode, Sim};
+use radionet_journal::Recorder;
+use radionet_sim::{JournalSink, NetInfo, ReceptionMode, Sim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,8 +46,40 @@ fn informed_fraction(best: &[Option<u64>], target: u64, n: usize) -> f64 {
     best.iter().filter(|b| **b == Some(target)).count() as f64 / n as f64
 }
 
+/// Delegates both object-safe [`Task`] entry points (`run` on the null
+/// sink, `run_recorded` on a [`Recorder`]) to one sink-generic inherent
+/// body, so no task's algorithm text is duplicated per sink.
+macro_rules! runs_via_exec {
+    () => {
+        fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
+            Self::exec(sim, ctx)
+        }
+
+        fn run_recorded(
+            &self,
+            sim: &mut Sim<'_, RunTopology, Recorder>,
+            ctx: &TaskCtx,
+        ) -> TaskOutcome {
+            Self::exec(sim, ctx)
+        }
+    };
+}
+
 /// `Compete({s})` broadcast from node 0 (paper, Theorem 7).
 pub struct BroadcastTask;
+
+impl BroadcastTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+        let n = sim.graph().n();
+        let source = sim.graph().node(SOURCE);
+        let out = run_broadcast(sim, source, MESSAGE, &CompeteConfig::default());
+        TaskOutcome::Broadcast(BroadcastSummary {
+            completed: out.completed(),
+            informed_fraction: informed_fraction(&out.compete.best, MESSAGE, n),
+            clock_all_informed: out.completion_time(),
+        })
+    }
+}
 
 impl Task for BroadcastTask {
     fn key(&self) -> &'static str {
@@ -61,35 +94,14 @@ impl Task for BroadcastTask {
         CompeteConfig::default().propagation_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
-        let n = sim.graph().n();
-        let source = sim.graph().node(SOURCE);
-        let out = run_broadcast(sim, source, MESSAGE, &CompeteConfig::default());
-        TaskOutcome::Broadcast(BroadcastSummary {
-            completed: out.completed(),
-            informed_fraction: informed_fraction(&out.compete.best, MESSAGE, n),
-            clock_all_informed: out.completion_time(),
-        })
-    }
+    runs_via_exec!();
 }
 
 /// Leader election via candidate lottery + `Compete(C)` (paper, Theorem 8).
 pub struct LeaderElectionTask;
 
-impl Task for LeaderElectionTask {
-    fn key(&self) -> &'static str {
-        "leader-election"
-    }
-
-    fn describe(&self) -> &'static str {
-        "leader election: Θ(log n / n) lottery + Compete(C) (Theorem 8)"
-    }
-
-    fn timebase(&self, info: &NetInfo) -> u64 {
-        CompeteConfig::default().propagation_budget(info)
-    }
-
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
+impl LeaderElectionTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_leader_election(sim, ctx.lottery_seed, &LeaderElectionConfig::default());
         let agreement = match out.leader {
@@ -106,8 +118,39 @@ impl Task for LeaderElectionTask {
     }
 }
 
+impl Task for LeaderElectionTask {
+    fn key(&self) -> &'static str {
+        "leader-election"
+    }
+
+    fn describe(&self) -> &'static str {
+        "leader election: Θ(log n / n) lottery + Compete(C) (Theorem 8)"
+    }
+
+    fn timebase(&self, info: &NetInfo) -> u64 {
+        CompeteConfig::default().propagation_budget(info)
+    }
+
+    runs_via_exec!();
+}
+
 /// Radio MIS (paper, Theorem 14).
 pub struct MisTask;
+
+impl MisTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+        let g = sim.graph();
+        let out = run_radio_mis(sim, &MisConfig::default());
+        let valid = out.is_valid(g);
+        TaskOutcome::Mis(MisSummary {
+            valid,
+            mis_size: out.mis_nodes().len(),
+            rounds: out.rounds,
+            complete: out.complete,
+            clock_done: valid.then(|| sim.clock()),
+        })
+    }
+}
 
 impl Task for MisTask {
     fn key(&self) -> &'static str {
@@ -124,18 +167,7 @@ impl Task for MisTask {
         c.total_steps(log_n)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
-        let g = sim.graph();
-        let out = run_radio_mis(sim, &MisConfig::default());
-        let valid = out.is_valid(g);
-        TaskOutcome::Mis(MisSummary {
-            valid,
-            mis_size: out.mis_nodes().len(),
-            rounds: out.rounds,
-            complete: out.complete,
-            clock_done: valid.then(|| sim.clock()),
-        })
-    }
+    runs_via_exec!();
 }
 
 /// The β used by the standalone partition task: the coarse scale of
@@ -147,22 +179,8 @@ fn partition_beta(info: &NetInfo) -> f64 {
 /// Radio MIS centers + `Partition(β, C)` clustering (paper, Theorem 2).
 pub struct PartitionTask;
 
-impl Task for PartitionTask {
-    fn key(&self) -> &'static str {
-        "partition"
-    }
-
-    fn describe(&self) -> &'static str {
-        "radio clustering: MIS centers + Partition(1/√D, C) (Theorem 2)"
-    }
-
-    fn timebase(&self, info: &NetInfo) -> u64 {
-        let mis = MisTask.timebase(info);
-        let c = RadioPartitionConfig::default();
-        mis + c.total_steps(partition_beta(info), info.n, info.log_n())
-    }
-
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+impl PartitionTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
         let g = sim.graph();
         let info = *sim.info();
         let mis = run_radio_mis(sim, &MisConfig::default());
@@ -186,8 +204,39 @@ impl Task for PartitionTask {
     }
 }
 
+impl Task for PartitionTask {
+    fn key(&self) -> &'static str {
+        "partition"
+    }
+
+    fn describe(&self) -> &'static str {
+        "radio clustering: MIS centers + Partition(1/√D, C) (Theorem 2)"
+    }
+
+    fn timebase(&self, info: &NetInfo) -> u64 {
+        let mis = MisTask.timebase(info);
+        let c = RadioPartitionConfig::default();
+        mis + c.total_steps(partition_beta(info), info.n, info.log_n())
+    }
+
+    runs_via_exec!();
+}
+
 /// The BGI Decay-flood broadcast baseline.
 pub struct BgiBroadcastTask;
+
+impl BgiBroadcastTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+        let n = sim.graph().n();
+        let source = sim.graph().node(SOURCE);
+        let out = run_bgi_broadcast(sim, source, MESSAGE, &BgiConfig::default());
+        TaskOutcome::Broadcast(BroadcastSummary {
+            completed: out.completed(),
+            informed_fraction: informed_fraction(&out.best, MESSAGE, n),
+            clock_all_informed: out.clock_all_informed,
+        })
+    }
+}
 
 impl Task for BgiBroadcastTask {
     fn key(&self) -> &'static str {
@@ -202,10 +251,17 @@ impl Task for BgiBroadcastTask {
         BgiConfig::default().budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
+    runs_via_exec!();
+}
+
+/// The Czumaj–Rytter-style broadcast baseline.
+pub struct CrBroadcastTask;
+
+impl CrBroadcastTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
-        let out = run_bgi_broadcast(sim, source, MESSAGE, &BgiConfig::default());
+        let out = run_cr_broadcast(sim, source, MESSAGE, &CrConfig::default());
         TaskOutcome::Broadcast(BroadcastSummary {
             completed: out.completed(),
             informed_fraction: informed_fraction(&out.best, MESSAGE, n),
@@ -213,9 +269,6 @@ impl Task for BgiBroadcastTask {
         })
     }
 }
-
-/// The Czumaj–Rytter-style broadcast baseline.
-pub struct CrBroadcastTask;
 
 impl Task for CrBroadcastTask {
     fn key(&self) -> &'static str {
@@ -230,35 +283,14 @@ impl Task for CrBroadcastTask {
         CrConfig::default().budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, _ctx: &TaskCtx) -> TaskOutcome {
-        let n = sim.graph().n();
-        let source = sim.graph().node(SOURCE);
-        let out = run_cr_broadcast(sim, source, MESSAGE, &CrConfig::default());
-        TaskOutcome::Broadcast(BroadcastSummary {
-            completed: out.completed(),
-            informed_fraction: informed_fraction(&out.best, MESSAGE, n),
-            clock_all_informed: out.clock_all_informed,
-        })
-    }
+    runs_via_exec!();
 }
 
 /// The folklore lottery + multi-source BGI flood election baseline.
 pub struct NaiveLeaderElectionTask;
 
-impl Task for NaiveLeaderElectionTask {
-    fn key(&self) -> &'static str {
-        "naive-leader-election"
-    }
-
-    fn describe(&self) -> &'static str {
-        "naive leader election: lottery + multi-source BGI flood"
-    }
-
-    fn timebase(&self, info: &NetInfo) -> u64 {
-        BgiConfig::default().budget(info)
-    }
-
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
+impl NaiveLeaderElectionTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_naive_leader_election(sim, ctx.lottery_seed, &NaiveLeConfig::default());
         let agreement = match out.leader {
@@ -275,9 +307,40 @@ impl Task for NaiveLeaderElectionTask {
     }
 }
 
+impl Task for NaiveLeaderElectionTask {
+    fn key(&self) -> &'static str {
+        "naive-leader-election"
+    }
+
+    fn describe(&self) -> &'static str {
+        "naive leader election: lottery + multi-source BGI flood"
+    }
+
+    fn timebase(&self, info: &NetInfo) -> u64 {
+        BgiConfig::default().budget(info)
+    }
+
+    runs_via_exec!();
+}
+
 /// Collision-detection wake-up flood (requires
 /// [`ReceptionMode::ProtocolCd`]).
 pub struct CdWakeupTask;
+
+impl CdWakeupTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+        let n = sim.graph().n();
+        let source = sim.graph().node(SOURCE);
+        let config = CdWakeupConfig { max_steps: ctx.capped(CdWakeupConfig::default().max_steps) };
+        let out = run_cd_wakeup(sim, source, &config);
+        let awake = out.woke_at.iter().filter(|w| w.is_some()).count();
+        TaskOutcome::Wakeup(WakeupSummary {
+            complete: out.completion_steps.is_some(),
+            awake_fraction: awake as f64 / n as f64,
+            completion_steps: out.completion_steps,
+        })
+    }
+}
 
 impl Task for CdWakeupTask {
     fn key(&self) -> &'static str {
@@ -302,18 +365,7 @@ impl Task for CdWakeupTask {
         Ok(())
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
-        let n = sim.graph().n();
-        let source = sim.graph().node(SOURCE);
-        let config = CdWakeupConfig { max_steps: ctx.capped(CdWakeupConfig::default().max_steps) };
-        let out = run_cd_wakeup(sim, source, &config);
-        let awake = out.woke_at.iter().filter(|w| w.is_some()).count();
-        TaskOutcome::Wakeup(WakeupSummary {
-            complete: out.completion_steps.is_some(),
-            awake_fraction: awake as f64 / n as f64,
-            completion_steps: out.completion_steps,
-        })
-    }
+    runs_via_exec!();
 }
 
 /// The LOCAL-model round budget of the reference MIS tasks — the single
@@ -338,6 +390,15 @@ fn local_mis_outcome(out: LocalMisOutcome, g: &radionet_graph::Graph) -> TaskOut
 /// message-passing rounds are free and the dynamics overlay is ignored).
 pub struct LubyMisTask;
 
+impl LubyMisTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+        let g = sim.graph();
+        let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x1b);
+        let cap = ctx.capped(local_mis_budget(sim.info()));
+        local_mis_outcome(luby_mis(g, &mut rng, cap), g)
+    }
+}
+
 impl Task for LubyMisTask {
     fn key(&self) -> &'static str {
         "luby-mis"
@@ -351,18 +412,22 @@ impl Task for LubyMisTask {
         local_mis_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
-        let g = sim.graph();
-        let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x1b);
-        let cap = ctx.capped(local_mis_budget(sim.info()));
-        local_mis_outcome(luby_mis(g, &mut rng, cap), g)
-    }
+    runs_via_exec!();
 }
 
 /// Ghaffari's LOCAL MIS (paper, Algorithm 4), a round-complexity reference
 /// (not a radio algorithm: rounds are free and the dynamics overlay is
 /// ignored).
 pub struct GhaffariMisTask;
+
+impl GhaffariMisTask {
+    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+        let g = sim.graph();
+        let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x9f);
+        let cap = ctx.capped(local_mis_budget(sim.info()));
+        local_mis_outcome(ghaffari_local_mis(g, &mut rng, cap), g)
+    }
+}
 
 impl Task for GhaffariMisTask {
     fn key(&self) -> &'static str {
@@ -377,10 +442,5 @@ impl Task for GhaffariMisTask {
         local_mis_budget(info)
     }
 
-    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
-        let g = sim.graph();
-        let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x9f);
-        let cap = ctx.capped(local_mis_budget(sim.info()));
-        local_mis_outcome(ghaffari_local_mis(g, &mut rng, cap), g)
-    }
+    runs_via_exec!();
 }

@@ -120,6 +120,13 @@ impl TopologyView for RunTopology {
             RunTopology::Mobile(t) => t.positions_version(),
         }
     }
+
+    fn index_work(&self) -> (u64, u64) {
+        match self {
+            RunTopology::Scripted(t) => t.index_work(),
+            RunTopology::Mobile(t) => t.index_work(),
+        }
+    }
 }
 
 #[cfg(test)]

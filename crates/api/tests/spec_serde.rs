@@ -8,7 +8,7 @@
 //! `RADIONET_REGEN_FIXTURES=1 cargo test -p radionet-api --test spec_serde`
 //! and review the diff.
 
-use radionet_api::{Driver, Dynamics, RunSpec, TaskRegistry};
+use radionet_api::{Driver, Dynamics, JournalSpec, RunSpec, TaskRegistry};
 use radionet_graph::families::Family;
 use radionet_sim::{FarFieldPolicy, Kernel, PositionSource, ReceptionMode, SinrConfig};
 
@@ -74,6 +74,13 @@ fn corpus() -> Vec<RunSpec> {
     capped.steps = Some(12);
     specs.push(capped);
 
+    // A journaled spec: the observability section is part of the contract.
+    specs.push(
+        RunSpec::new("broadcast", Family::Grid, 25)
+            .with_seed(13)
+            .with_journal(JournalSpec { classes: "radio,phase".into(), checkpoint_every: 16 }),
+    );
+
     specs
 }
 
@@ -98,6 +105,26 @@ fn corpus_covers_every_axis() {
     }
     assert!(specs.iter().any(|s| s.kernel == Kernel::Dense));
     assert!(specs.iter().any(|s| s.steps.is_some()));
+    assert!(specs.iter().any(|s| s.journal.is_some()));
+}
+
+#[test]
+fn journal_less_legacy_specs_still_parse() {
+    // Specs recorded before the observability layer carry no "journal"
+    // key at all; they must keep decoding (to a journal-less spec).
+    let legacy = r#"{
+        "task": "broadcast",
+        "family": "Grid",
+        "n": 36,
+        "reception": "Protocol",
+        "kernel": "Sparse",
+        "dynamics": "Static",
+        "steps": null,
+        "seed": 5
+    }"#;
+    let spec: RunSpec = serde_json::from_str(legacy).unwrap();
+    assert_eq!(spec, RunSpec::new("broadcast", Family::Grid, 36).with_seed(5));
+    assert!(spec.journal.is_none());
 }
 
 #[test]

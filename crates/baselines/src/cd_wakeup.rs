@@ -11,7 +11,9 @@
 //! the gap against Decay-based flooding under the paper's model.
 
 use radionet_graph::NodeId;
-use radionet_sim::{Action, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView, Wake};
+use radionet_sim::{
+    Action, JournalSink, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView, Wake,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the CD wake-up flood.
@@ -106,8 +108,8 @@ pub struct CdWakeupOutcome {
 /// Panics if `sim` does not run under
 /// [`ReceptionMode::ProtocolCd`] — without CD this protocol stalls at the
 /// first collision, which would silently measure the wrong thing.
-pub fn run_cd_wakeup<T: TopologyView>(
-    sim: &mut Sim<'_, T>,
+pub fn run_cd_wakeup<T: TopologyView, J: JournalSink>(
+    sim: &mut Sim<'_, T, J>,
     source: NodeId,
     config: &CdWakeupConfig,
 ) -> CdWakeupOutcome {

@@ -21,7 +21,7 @@ use radionet_graph::independent_set::is_maximal_independent_set;
 use radionet_graph::{Graph, NodeId};
 use radionet_primitives::decay::DecaySchedule;
 use radionet_primitives::effective_degree::{EedConfig, EedCounter, EedVerdict};
-use radionet_sim::{Action, NodeCtx, Protocol, Sim, TopologyView, Wake};
+use radionet_sim::{Action, JournalSink, NodeCtx, Protocol, Sim, TopologyView, Wake};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -379,7 +379,10 @@ impl MisOutcome {
 }
 
 /// Runs Radio MIS on the simulator (consumes `O(log³ n)` simulated steps).
-pub fn run_radio_mis<T: TopologyView>(sim: &mut Sim<'_, T>, config: &MisConfig) -> MisOutcome {
+pub fn run_radio_mis<T: TopologyView, J: JournalSink>(
+    sim: &mut Sim<'_, T, J>,
+    config: &MisConfig,
+) -> MisOutcome {
     let info = *sim.info();
     let log_n = MisConfig::effective_log_n(info.log_n());
     let mut states: Vec<MisNode> =

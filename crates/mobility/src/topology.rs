@@ -527,6 +527,13 @@ impl TopologyView for MobileTopology {
     fn positions_version(&self) -> u64 {
         self.motion_epoch
     }
+
+    /// Cumulative index maintenance, surfaced by the engine into
+    /// `SimStats` after every phase. Both counters are deterministic
+    /// functions of the advance history, so they stay kernel-invariant.
+    fn index_work(&self) -> (u64, u64) {
+        (self.stats.cell_crossings, self.stats.rows_recomputed)
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,12 @@ pub struct CellResult {
     pub clock_total: u64,
     /// Clock when the success criterion was first met, if ever.
     pub clock_done: Option<u64>,
+    /// Whether any phase fell back from the sparse to the dense kernel.
+    /// Lifted out of [`SimStats::kernel_fallbacks`] so sweep rows surface
+    /// a per-cell fallback without digging into the nested counters — a
+    /// silent per-cell fallback would otherwise only be visible on
+    /// single-run CLI output.
+    pub fell_back: bool,
     /// Engine counters.
     pub stats: SimStats,
 }
@@ -127,6 +133,7 @@ pub fn spec_for_cell(cell: &CellSpec, kernel: Kernel) -> RunSpec {
         kernel,
         dynamics: cell.scenario.dynamics,
         steps: None,
+        journal: None,
         seed: cell.cell_seed,
     }
 }
@@ -158,6 +165,7 @@ pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
         achieved: report.achieved,
         clock_total: report.clock_total,
         clock_done: report.clock_done,
+        fell_back: report.stats.kernel_fallbacks > 0,
         stats: report.stats,
     }
 }
@@ -223,6 +231,7 @@ pub fn run_cell_reference(spec: &CellSpec, kernel: Kernel) -> (CellResult, u64) 
         achieved,
         clock_total: sim.clock(),
         clock_done,
+        fell_back: sim.stats().kernel_fallbacks > 0,
         stats: *sim.stats(),
     };
     (result, sim.rng_fingerprint())
@@ -260,6 +269,8 @@ pub fn to_run_records(results: &[CellResult]) -> Vec<RunRecord> {
                 .metric("achieved", r.achieved)
                 .metric("clock_total", r.clock_total as f64)
                 .metric("clock_done", r.clock_done.map(|c| c as f64).unwrap_or(-1.0))
+                .metric("fell_back", if r.fell_back { 1.0 } else { 0.0 })
+                .metric("kernel_fallbacks", r.stats.kernel_fallbacks as f64)
                 .metric("simulated_steps", r.stats.simulated_steps as f64)
                 .metric("transmissions", r.stats.transmissions as f64)
                 .metric("deliveries", r.stats.deliveries as f64)
@@ -377,5 +388,10 @@ mod tests {
         assert_eq!(record.runs.len(), results.len());
         assert_eq!(record.runs[0].params["scenario"], "t-static");
         assert!(record.runs[0].metrics.contains_key("clock_total"));
+        // Kernel-fallback telemetry reaches every sweep row, not just
+        // single-run CLI output.
+        assert_eq!(record.runs[0].metrics["fell_back"], 0.0);
+        assert_eq!(record.runs[0].metrics["kernel_fallbacks"], 0.0);
+        assert!(!results[0].fell_back, "protocol-mode grid cells never fall back");
     }
 }

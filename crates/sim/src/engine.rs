@@ -51,11 +51,52 @@ use crate::stats::SimStats;
 use crate::topology::{StaticTopology, TopologyView};
 use radionet_graph::spatial::SpatialGrid;
 use radionet_graph::{Graph, NodeId};
+use radionet_journal::{
+    CollisionInfo, DeliverInfo, EventClass, EventKind, GridInfo, HintInfo, JournalSink, NullSink,
+    PhaseEndInfo, PhaseInfo, StatusInfo, TransmitInfo,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Records one event through the sink iff the sink is compiled in *and*
+/// wants the class. Free-standing (borrows only the sink) so emission
+/// sites inside the kernels keep their disjoint field borrows; the
+/// payload closure runs only when the event is actually kept.
+#[inline(always)]
+fn emit<J: JournalSink>(
+    journal: &mut J,
+    class: EventClass,
+    step: u64,
+    kind: impl FnOnce() -> EventKind,
+) {
+    if J::ENABLED && journal.wants(class) {
+        journal.record(step, kind());
+    }
+}
+
+/// Flattens a [`Wake`] hint into the journal's payload shape.
+fn hint_info(node: u32, hint: Wake) -> HintInfo {
+    let opt = |t: u64| (t != Wake::NEVER).then_some(t);
+    match hint {
+        Wake::Now => {
+            HintInfo { node, now: true, listen: false, retire: false, wake_at: None, done_at: None }
+        }
+        Wake::Listen { wake_at, done_at } | Wake::Sleep { wake_at, done_at } => HintInfo {
+            node,
+            now: false,
+            listen: matches!(hint, Wake::Listen { .. }),
+            retire: false,
+            wake_at: opt(wake_at),
+            done_at,
+        },
+        Wake::Retire => {
+            HintInfo { node, now: false, listen: false, retire: true, wake_at: None, done_at: None }
+        }
+    }
+}
 
 /// Outcome of one [`Sim::run_phase`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -322,8 +363,15 @@ impl SparseSched {
 /// collisions). Dynamic views — churn, partitions, jammers — are consulted
 /// once per simulated step and may change what the engine sees; see
 /// `radionet-scenario`.
+///
+/// The third parameter is the observability hook: a [`JournalSink`] the
+/// kernels stream events through. The default [`NullSink`] has
+/// `ENABLED = false`, so every emission site monomorphizes to nothing —
+/// an uninstrumented `Sim` costs exactly what it did before the journal
+/// existed. Construct with [`Sim::try_with_journal`] (e.g. passing a
+/// `radionet_journal::Recorder`) to record.
 #[derive(Debug)]
-pub struct Sim<'g, T: TopologyView = StaticTopology> {
+pub struct Sim<'g, T: TopologyView = StaticTopology, J: JournalSink = NullSink> {
     graph: &'g Graph,
     topo: T,
     info: NetInfo,
@@ -358,6 +406,11 @@ pub struct Sim<'g, T: TopologyView = StaticTopology> {
     /// of an in-place re-bucket.
     sinr_grid_lo: [f64; 3],
     sinr_grid_side: f64,
+    // Observability: the event sink and the zero-based index of the next
+    // phase (feeds PhaseStart/PhaseEnd events). With the default NullSink
+    // every use of `journal` compiles away.
+    journal: J,
+    phase: u64,
 }
 
 impl<'g> Sim<'g> {
@@ -449,6 +502,30 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         seed: u64,
         reception: ReceptionMode,
     ) -> Result<Self, SimError> {
+        Sim::try_with_journal(graph, topo, info, seed, reception, NullSink)
+    }
+}
+
+impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
+    /// Fallible construction with an explicit event sink — the
+    /// observability entry point. Identical to
+    /// [`Sim::try_with_topology`] except that the engine streams events
+    /// (transmissions, receptions, status flips, phase boundaries,
+    /// scheduler activity) through `journal`; pass a
+    /// `radionet_journal::Recorder` to record a run, retrieve it with
+    /// [`Sim::into_journal`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::try_with_topology`].
+    pub fn try_with_journal(
+        graph: &'g Graph,
+        topo: T,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+        journal: J,
+    ) -> Result<Self, SimError> {
         let mut sinr = false;
         if let ReceptionMode::Sinr(cfg) = &reception {
             sinr = true;
@@ -501,7 +578,27 @@ impl<'g, T: TopologyView> Sim<'g, T> {
             sinr_grid_version: 0,
             sinr_grid_lo: [0.0; 3],
             sinr_grid_side: 0.0,
+            journal,
+            phase: 0,
         })
+    }
+
+    /// The event sink (immutable: recording state is the engine's to
+    /// drive; callers read counters or digests through this).
+    pub fn journal(&self) -> &J {
+        &self.journal
+    }
+
+    /// Consumes the simulation and returns its event sink — how a
+    /// recording (`radionet_journal::Recorder`) is extracted once the run
+    /// is over.
+    pub fn into_journal(self) -> J {
+        self.journal
+    }
+
+    /// Phases executed so far (the next phase's zero-based index).
+    pub fn phase(&self) -> u64 {
+        self.phase
     }
 
     /// The active reception mode.
@@ -569,6 +666,39 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         self.stats.charged_steps += steps;
     }
 
+    /// The per-node RNG streams (checkpoint capture).
+    pub(crate) fn rng_streams(&self) -> &[SmallRng] {
+        &self.rngs
+    }
+
+    /// Overwrites the resumable core (clock, phase counter, stats, RNG
+    /// streams) and fast-forwards the topology view — checkpoint-restore
+    /// support, see [`Checkpoint`](crate::Checkpoint). Must only run on a
+    /// freshly constructed `Sim` (the caller checks): the view is
+    /// re-driven through the exact `advance_to` sequence the recorded run
+    /// performed, one call per executed step, so step-indexed views
+    /// (mobility walks, churn scripts) land in the identical internal
+    /// state; the change feed accumulated during the fast-forward is then
+    /// discarded, just as a sparse phase start would.
+    pub(crate) fn restore_core(
+        &mut self,
+        clock: u64,
+        phase: u64,
+        stats: SimStats,
+        rngs: Vec<SmallRng>,
+    ) {
+        for t in 0..clock {
+            self.topo.advance_to(self.graph, t);
+        }
+        self.sched.changed.clear();
+        self.topo.drain_status_changes(&mut self.sched.changed);
+        self.sched.changed.clear();
+        self.clock = clock;
+        self.phase = phase;
+        self.stats = stats;
+        self.rngs = rngs;
+    }
+
     /// Runs one phase: every node executes `states[v]` until all *active*
     /// nodes are done or `max_steps` elapse.
     ///
@@ -595,6 +725,16 @@ impl<'g, T: TopologyView> Sim<'g, T> {
     pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
         assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
         let sparse_ok = self.topo.supports_change_feed();
+        let phase = self.phase;
+        emit(&mut self.journal, EventClass::Phase, self.clock, || {
+            EventKind::PhaseStart(PhaseInfo { phase })
+        });
+        let fell_back = self.kernel == Kernel::Sparse && !sparse_ok;
+        if fell_back {
+            emit(&mut self.journal, EventClass::Phase, self.clock, || {
+                EventKind::Fallback(PhaseInfo { phase })
+            });
+        }
         let mut report = if self.kernel == Kernel::Sparse && sparse_ok {
             self.run_phase_sparse(states, max_steps)
         } else {
@@ -602,9 +742,26 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         };
         // A requested-but-unavailable sparse kernel is a quiet Θ(n)-per-
         // step regression; record it so reports and the CLI can surface it.
-        report.fell_back = self.kernel == Kernel::Sparse && !sparse_ok;
+        report.fell_back = fell_back;
+        emit(&mut self.journal, EventClass::Phase, self.clock + report.steps, || {
+            EventKind::PhaseEnd(PhaseEndInfo {
+                phase,
+                steps: report.steps,
+                transmissions: report.transmissions,
+                deliveries: report.deliveries,
+                collisions: report.collisions,
+                completed: report.completed,
+            })
+        });
+        self.phase += 1;
         self.clock += report.steps;
         self.stats.absorb_phase(&report);
+        // Mobility index-maintenance totals are the view's cumulative
+        // counters; assign (not add) so they stay exact under any phase
+        // structure.
+        let (crossings, rows) = self.topo.index_work();
+        self.stats.mobility_cell_crossings = crossings;
+        self.stats.mobility_rows_recomputed = rows;
         report
     }
 
@@ -626,9 +783,33 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         // (`arena[k]` from node `tx_nodes[k]`); listeners receive `&Msg`.
         let mut arena: Vec<P::Msg> = Vec::new();
         self.listening.iter_mut().for_each(|l| *l = false);
+        // Status-flip tracking (journal only): the dense kernel has no
+        // change feed, so it detects flips by scanning `is_active` against
+        // a snapshot — the same events the sparse kernel reads off the
+        // feed, paid for only when a sink wants them.
+        if J::ENABLED && self.journal.wants(EventClass::Topology) {
+            self.sched.was_active.clear();
+            self.sched.was_active.resize(states.len(), false);
+            for i in 0..states.len() {
+                self.sched.was_active[i] = self.topo.is_active(NodeId::new(i));
+            }
+        }
 
         for local_t in 0..max_steps {
-            self.topo.advance_to(self.graph, self.clock + report.steps);
+            let gstep = self.clock + report.steps;
+            self.topo.advance_to(self.graph, gstep);
+            if J::ENABLED && self.journal.wants(EventClass::Topology) {
+                for i in 0..states.len() {
+                    let active = self.topo.is_active(NodeId::new(i));
+                    if active != self.sched.was_active[i] {
+                        self.sched.was_active[i] = active;
+                        self.journal.record(
+                            gstep,
+                            EventKind::Status(StatusInfo { node: i as u32, active }),
+                        );
+                    }
+                }
+            }
             self.tx_nodes.clear();
             arena.clear();
             self.stamp_epoch += 1;
@@ -643,12 +824,17 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                         self.listening[i] = false;
                         self.tx_nodes.push(i as u32);
                         arena.push(m);
+                        emit(&mut self.journal, EventClass::Radio, gstep, || {
+                            EventKind::Transmit(TransmitInfo { node: i as u32 })
+                        });
                     }
                     Action::Listen => self.listening[i] = true,
                     Action::Idle => self.listening[i] = false,
                 }
             }
             report.transmissions += self.tx_nodes.len() as u64;
+            self.stats.peak_step_transmissions =
+                self.stats.peak_step_transmissions.max(self.tx_nodes.len() as u64);
             if let ReceptionMode::Sinr(cfg) = &self.reception {
                 // SINR reception (footnote 1): a listener decodes the
                 // strongest transmitter iff its SINR clears the threshold,
@@ -685,6 +871,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             // drowned.
                             if best_gain / cfg.noise >= cfg.threshold {
                                 report.collisions += 1;
+                                emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                    EventKind::Collision(CollisionInfo { node: i as u32 })
+                                });
                             }
                             continue;
                         }
@@ -695,9 +884,16 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                                 NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
                             state.on_hear(&mut ctx, msg);
                             report.deliveries += 1;
+                            let from = self.tx_nodes[best_ti];
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Deliver(DeliverInfo { node: i as u32, from })
+                            });
                         } else if best_gain / cfg.noise >= cfg.threshold {
                             // Decodable in isolation, lost to interference.
                             report.collisions += 1;
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Collision(CollisionInfo { node: i as u32 })
+                            });
                         }
                     }
                 }
@@ -733,6 +929,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             };
                             states[wi].on_hear(&mut ctx, msg);
                             report.deliveries += 1;
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Deliver(DeliverInfo { node: wi as u32, from: u })
+                            });
                         }
                     }
                 }
@@ -751,6 +950,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                     let jammed = self.topo.is_jammed(NodeId::new(i));
                     if hits >= 2 || (jammed && hits >= 1) {
                         report.collisions += 1;
+                        emit(&mut self.journal, EventClass::Radio, gstep, || {
+                            EventKind::Collision(CollisionInfo { node: i as u32 })
+                        });
                     }
                     if cd && (hits >= 2 || jammed) {
                         let mut ctx =
@@ -760,6 +962,10 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                 }
             }
             report.steps += 1;
+            if J::ENABLED && self.journal.checkpoint_due(self.clock + report.steps) {
+                let fp = self.rng_fingerprint();
+                self.journal.record_waypoint(self.clock + report.steps, fp);
+            }
             // A phase completes when every node is either done or *retired*
             // (inactive with no scheduled return). A node that is merely
             // asleep, crashed-but-rejoining, or jamming-for-a-window keeps
@@ -823,7 +1029,8 @@ impl<'g, T: TopologyView> Sim<'g, T> {
         let cd = self.reception == ReceptionMode::ProtocolCd;
 
         for local_t in 0..max_steps {
-            self.topo.advance_to(self.graph, self.clock + report.steps);
+            let gstep = self.clock + report.steps;
+            self.topo.advance_to(self.graph, gstep);
 
             // (1) Batch topology changes: reactivated nodes rejoin the ring
             // (their next hint re-parks them if there is nothing to do);
@@ -836,6 +1043,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                 let active = self.topo.is_active(v);
                 if active != self.sched.was_active[i] {
                     self.sched.was_active[i] = active;
+                    emit(&mut self.journal, EventClass::Topology, gstep, || {
+                        EventKind::Status(StatusInfo { node: i as u32, active })
+                    });
                     if active {
                         self.sched.ring_at(i, local_t, local_t);
                     } else {
@@ -876,6 +1086,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                         self.listening[i] = false;
                         self.tx_nodes.push(iu);
                         arena.push(m);
+                        emit(&mut self.journal, EventClass::Radio, gstep, || {
+                            EventKind::Transmit(TransmitInfo { node: iu })
+                        });
                     }
                     Action::Listen => self.listening[i] = true,
                     Action::Idle => self.listening[i] = false,
@@ -884,10 +1097,15 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                     self.sched.mark_done(i);
                 }
                 let hint = states[i].next_wake(local_t);
+                emit(&mut self.journal, EventClass::Sched, gstep, || {
+                    EventKind::Hint(hint_info(iu, hint))
+                });
                 self.sched.apply_hint(i, local_t, hint, max_steps);
             }
             self.sched.ring = ring;
             report.transmissions += self.tx_nodes.len() as u64;
+            self.stats.peak_step_transmissions =
+                self.stats.peak_step_transmissions.max(self.tx_nodes.len() as u64);
 
             // (4) Reception. Under SINR the "neighborhood" is physical:
             // the decode-range spatial index stands in for adjacency.
@@ -929,6 +1147,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             }
                         }
                         self.sinr_grid_version = version;
+                        emit(&mut self.journal, EventClass::Sched, gstep, || {
+                            EventKind::GridRebuild(GridInfo { version })
+                        });
                     }
                     let grid = self.sinr_grid.as_ref().expect("built above");
                     let floor = cfg.near_field_floor();
@@ -992,6 +1213,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             // A decodable signal drowned by broadband
                             // receiver noise: a collision, no delivery.
                             report.collisions += 1;
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Collision(CollisionInfo { node: w32 })
+                            });
                             continue;
                         }
                         let total = match cutoff {
@@ -1046,18 +1270,28 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             };
                             states[wi].on_hear(&mut ctx, &arena[ti]);
                             report.deliveries += 1;
+                            let from = self.tx_nodes[ti];
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Deliver(DeliverInfo { node: w32, from })
+                            });
                             // Hearing re-engages the node: poll done-ness,
                             // take a fresh hint.
                             if !self.sched.done[wi] && states[wi].is_done() {
                                 self.sched.mark_done(wi);
                             }
                             let hint = states[wi].next_wake(local_t);
+                            emit(&mut self.journal, EventClass::Sched, gstep, || {
+                                EventKind::Hint(hint_info(w32, hint))
+                            });
                             self.sched.apply_hint(wi, local_t, hint, max_steps);
                         } else {
                             // Decodable in isolation, lost to
                             // interference (no CD under SINR: the
                             // listener is not notified, so no re-engage).
                             report.collisions += 1;
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Collision(CollisionInfo { node: w32 })
+                            });
                         }
                     }
                     self.sched.touched = touched;
@@ -1091,9 +1325,16 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[wi] };
                         states[wi].on_hear(&mut ctx, &arena[ti]);
                         report.deliveries += 1;
+                        let from = self.tx_nodes[ti];
+                        emit(&mut self.journal, EventClass::Radio, gstep, || {
+                            EventKind::Deliver(DeliverInfo { node: wi32, from })
+                        });
                     } else {
                         if hits >= 2 || (jammed && hits >= 1) {
                             report.collisions += 1;
+                            emit(&mut self.journal, EventClass::Radio, gstep, || {
+                                EventKind::Collision(CollisionInfo { node: wi32 })
+                            });
                         }
                         if cd {
                             let mut ctx = NodeCtx {
@@ -1112,6 +1353,9 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                         self.sched.mark_done(wi);
                     }
                     let hint = states[wi].next_wake(local_t);
+                    emit(&mut self.journal, EventClass::Sched, gstep, || {
+                        EventKind::Hint(hint_info(wi32, hint))
+                    });
                     self.sched.apply_hint(wi, local_t, hint, max_steps);
                 }
                 self.sched.touched = touched;
@@ -1137,12 +1381,19 @@ impl<'g, T: TopologyView> Sim<'g, T> {
                             self.sched.mark_done(wi);
                         }
                         let hint = states[wi].next_wake(local_t);
+                        emit(&mut self.journal, EventClass::Sched, gstep, || {
+                            EventKind::Hint(hint_info(wi32, hint))
+                        });
                         self.sched.apply_hint(wi, local_t, hint, max_steps);
                     }
                 }
             }
 
             report.steps += 1;
+            if J::ENABLED && self.journal.checkpoint_due(self.clock + report.steps) {
+                let fp = self.rng_fingerprint();
+                self.journal.record_waypoint(self.clock + report.steps, fp);
+            }
             // (5) Apply the hints' deferred listening transitions (the
             // step's reception above still saw the pre-hint state, exactly
             // as the dense kernel would), mature done promises, check
@@ -1942,6 +2193,70 @@ mod tests {
         // One-sided error: truncating interference can only help decoding.
         assert!(loose.0.deliveries >= exact.0.deliveries);
         assert!(loose.0.transmissions == exact.0.transmissions);
+    }
+
+    #[test]
+    fn kernels_emit_identical_invariant_event_streams() {
+        use radionet_journal::{bisect, ClassMask, Recorder};
+        let g = generators::grid2d(5, 5);
+        let run = |kernel: Kernel| {
+            let mut sim = Sim::try_with_journal(
+                &g,
+                StaticTopology,
+                NetInfo::exact(&g),
+                3,
+                ReceptionMode::Protocol,
+                Recorder::new(ClassMask::ALL, 8),
+            )
+            .unwrap();
+            sim.set_kernel(kernel);
+            let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
+            sim.run_phase(&mut states, 40);
+            let fp = sim.rng_fingerprint();
+            sim.into_journal().into_journal("test", kernel.name(), None, fp, 0)
+        };
+        let sparse = run(Kernel::Sparse);
+        let dense = run(Kernel::Dense);
+        // The schedulers differ by design (hints exist only sparsely)…
+        assert!(sparse.summary().sched > 0);
+        assert_eq!(dense.summary().sched, 0);
+        // …but the kernel-invariant stream, the waypoint digests, and the
+        // RNG fingerprints are identical.
+        assert_eq!(sparse.waypoints, dense.waypoints);
+        assert!(!sparse.waypoints.is_empty());
+        let report = bisect(&sparse, &dense, ClassMask::ALL);
+        assert!(!report.is_divergent(), "{report}");
+        assert!(report.left_events > 0);
+    }
+
+    #[test]
+    fn status_flips_recorded_identically_by_both_kernels() {
+        use radionet_journal::{ClassMask, EventClass, Recorder};
+        let run = |kernel: Kernel| {
+            let g = generators::star(4);
+            let mut sim = Sim::try_with_journal(
+                &g,
+                Sleeper::new(2, Some(5)),
+                NetInfo::exact(&g),
+                0,
+                ReceptionMode::Protocol,
+                Recorder::new(ClassMask::NONE.with(EventClass::Topology), 0),
+            )
+            .unwrap();
+            sim.set_kernel(kernel);
+            let mut states: Vec<OneShot> =
+                g.nodes().map(|v| OneShot { source: v.index() == 0, heard: false }).collect();
+            sim.run_phase(&mut states, 100);
+            let mut events = sim.into_journal().events().to_vec();
+            events.sort_by_key(radionet_journal::Event::order_key);
+            events
+        };
+        let sparse = run(Kernel::Sparse);
+        let dense = run(Kernel::Dense);
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse.len(), 1, "exactly the sleeper's wake-up: {sparse:?}");
+        assert_eq!(sparse[0].step, 5);
+        assert_eq!(sparse[0].kind.node(), Some(2));
     }
 
     #[test]

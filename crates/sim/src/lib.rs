@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod cost;
 mod engine;
 pub mod multiplex;
@@ -70,9 +71,14 @@ mod reception;
 mod stats;
 pub mod topology;
 
+pub use checkpoint::{Checkpoint, CheckpointError, RngState};
 pub use cost::CostModel;
 pub use engine::{Kernel, PhaseReport, Sim, SimError};
+// The engine's observability vocabulary, re-exported so `Sim`'s public
+// signatures (`J: JournalSink = NullSink`) resolve without a separate
+// dependency on the journal crate.
 pub use protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
+pub use radionet_journal::{JournalSink, NullSink};
 pub use reception::{
     dist3, FarFieldPolicy, PositionSource, ReceptionMode, SinrConfig, NEAR_FIELD_FRACTION,
 };

@@ -26,6 +26,20 @@ pub struct SimStats {
     /// count means the run silently paid `Θ(n)` per step and should be
     /// surfaced, not ignored (the CLI warns on it).
     pub kernel_fallbacks: u64,
+    /// Phases executed ([`Sim::run_phase`](crate::Sim::run_phase) calls).
+    pub phases: u64,
+    /// The busiest single step: maximum transmissions in any one simulated
+    /// step. A cheap occupancy gauge for the sparse kernel's active set
+    /// (its per-step work is proportional to this, not to `n`) — and
+    /// kernel-invariant, so it participates in the equivalence tests.
+    pub peak_step_transmissions: u64,
+    /// Spatial-index cell crossings performed by a mobility-backed
+    /// topology view ([`TopologyView::index_work`](crate::TopologyView::index_work));
+    /// zero for static views.
+    pub mobility_cell_crossings: u64,
+    /// Grid rows recomputed by a mobility-backed topology view; zero for
+    /// static views.
+    pub mobility_rows_recomputed: u64,
 }
 
 impl SimStats {
@@ -40,6 +54,7 @@ impl SimStats {
         self.deliveries += rep.deliveries;
         self.collisions += rep.collisions;
         self.kernel_fallbacks += u64::from(rep.fell_back);
+        self.phases += 1;
     }
 }
 
@@ -71,6 +86,7 @@ mod tests {
         assert_eq!(s.deliveries, 5);
         assert_eq!(s.collisions, 1);
         assert_eq!(s.kernel_fallbacks, 1);
+        assert_eq!(s.phases, 2);
         assert_eq!(s.total_steps(), 12);
     }
 }

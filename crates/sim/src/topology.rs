@@ -114,6 +114,18 @@ pub trait TopologyView {
     fn positions_version(&self) -> u64 {
         0
     }
+
+    /// Cumulative spatial-index maintenance work the view has performed:
+    /// `(cell_crossings, rows_recomputed)`. The engine copies these into
+    /// [`SimStats`](crate::SimStats) after every phase so mobility-driven
+    /// index churn shows up in reports. Counts are totals since
+    /// construction (the engine assigns, never adds) and must be a
+    /// deterministic function of the advance history — both kernels drive
+    /// [`advance_to`](TopologyView::advance_to) identically, so the stats
+    /// stay kernel-invariant. Static views report `(0, 0)` (the default).
+    fn index_work(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// The paper's model: the base graph itself, always-on, never jammed.

@@ -17,9 +17,11 @@
 //! buffer in memory.
 
 use radionet::api::{
-    Driver, Dynamics, JsonArraySink, JsonlSink, ResultSink, RunReport, RunSpec, TaskRegistry,
+    replay, Driver, Dynamics, JsonArraySink, JsonlSink, ResultSink, RunReport, RunSpec,
+    TaskRegistry,
 };
 use radionet::graph::families::Family;
+use radionet::journal::{bisect, ClassMask, EventKind, Journal};
 use radionet::scenario::runner::{spec_for_cell, SweepConfig};
 use radionet::scenario::Scenario;
 use radionet::sim::{Kernel, ReceptionMode, SinrConfig};
@@ -27,12 +29,18 @@ use serde::Serialize;
 use std::io::Write;
 use std::process::ExitCode;
 
+/// Exit status when a replay or bisect finds a divergence (distinct from
+/// `1`, which means the command itself failed).
+const EXIT_DIVERGED: u8 = 3;
+
 const USAGE: &str = "\
 radionet — unified CLI over every algorithm in the workspace
 
 USAGE:
   radionet run [OPTIONS]         run one spec, print its RunReport as JSON
   radionet sweep [OPTIONS]       expand the scenario catalogue into specs and stream reports
+  radionet replay JOURNAL [OPTS] re-drive a recorded journal, compare event-for-event
+  radionet bisect LEFT RIGHT     first divergent event between two recorded journals
   radionet list-tasks [--json]   list the task registry
   radionet catalogue [--cells]   print the named scenario catalogue as JSON
   radionet help                  this text
@@ -60,6 +68,27 @@ RUN OPTIONS:
   --steps N           optional step-budget cap
   --compact           compact JSON instead of pretty
   --out FILE          write to FILE instead of stdout
+  --journal FILE      also record an event journal of the run and write it
+                      to FILE as one JSON document (feeds replay/bisect)
+  --journal-classes L event classes to record: all | none | comma list of
+                      radio,topology,phase,sched   [default: all]
+  --checkpoint-every N  waypoint cadence in steps; 0 derives one from the
+                      task's timebase              [default: 0]
+
+REPLAY OPTIONS:
+  JOURNAL             recorded journal file (\"-\" = stdin)
+  --perturb N         corrupt the Nth node-bearing recorded event before
+                      comparing (smoke-tests the divergence machinery; the
+                      report must pinpoint the injected step)
+  --out FILE          also write the fresh replay journal to FILE
+  exit status: 0 = streams identical, 3 = divergence found, 1 = error
+
+BISECT OPTIONS:
+  LEFT RIGHT          two recorded journal files (\"-\" = stdin, once)
+  --classes LIST      classes to compare: all | none | comma list
+                      [default: all] (sched is dropped automatically when
+                      the journals come from different kernels)
+  exit status: 0 = identical on compared classes, 3 = divergent, 1 = error
 
 SWEEP OPTIONS:
   --sizes LIST        comma-separated sizes        [default: 36]
@@ -84,18 +113,20 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "run" => cmd_run(rest),
-        "sweep" => cmd_sweep(rest),
-        "list-tasks" => cmd_list_tasks(rest),
-        "catalogue" => cmd_catalogue(rest),
+        "run" => cmd_run(rest).map(|()| ExitCode::SUCCESS),
+        "sweep" => cmd_sweep(rest).map(|()| ExitCode::SUCCESS),
+        "replay" => cmd_replay(rest),
+        "bisect" => cmd_bisect(rest),
+        "list-tasks" => cmd_list_tasks(rest).map(|()| ExitCode::SUCCESS),
+        "catalogue" => cmd_catalogue(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?} (see `radionet help`)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("radionet {cmd}: {e}");
             ExitCode::FAILURE
@@ -189,6 +220,9 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let mut flag_count = 0usize;
     let mut compact = false;
     let mut out: Option<String> = None;
+    let mut journal_out: Option<String> = None;
+    let mut journal_classes: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
             "--spec" => spec_file = Some(args.value(flag)?.to_string()),
@@ -228,8 +262,16 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
             }
             "--compact" => compact = true,
             "--out" => out = Some(args.value(flag)?.to_string()),
+            // Journal flags are output/observability controls, not spec
+            // axes, so they compose with --spec (flag_count untouched).
+            "--journal" => journal_out = Some(args.value(flag)?.to_string()),
+            "--journal-classes" => journal_classes = Some(args.value(flag)?.to_string()),
+            "--checkpoint-every" => checkpoint_every = Some(parse(flag, args.value(flag)?)?),
             other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
         }
+    }
+    if journal_out.is_none() && (journal_classes.is_some() || checkpoint_every.is_some()) {
+        return Err("--journal-classes / --checkpoint-every need --journal FILE".into());
     }
     if let Some(path) = spec_file {
         if flag_count > 0 {
@@ -242,7 +284,27 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
         };
         spec = serde_json::from_str(&json).map_err(|e| format!("bad spec in {path}: {e}"))?;
     }
-    let report = Driver::standard().run(&spec).map_err(|e| e.to_string())?;
+    let report = match &journal_out {
+        None => Driver::standard().run(&spec).map_err(|e| e.to_string())?,
+        Some(jpath) => {
+            // Flags refine the spec's own journal section (if any): a
+            // spec-file recipe can carry its filter, the command line wins.
+            let mut jspec = spec.journal.clone().unwrap_or_default();
+            if let Some(classes) = journal_classes {
+                jspec.classes = classes;
+            }
+            if let Some(every) = checkpoint_every {
+                jspec.checkpoint_every = every;
+            }
+            spec.journal = Some(jspec);
+            let (report, journal) =
+                Driver::standard().run_journaled(&spec).map_err(|e| e.to_string())?;
+            let doc = journal.to_json_string().map_err(|e| e.to_string())?;
+            let mut jw = open_out(Some(jpath))?;
+            writeln!(jw, "{doc}").and_then(|()| jw.flush()).map_err(|e| e.to_string())?;
+            report
+        }
+    };
     if report.stats.kernel_fallbacks > 0 {
         // Never silent: the run asked for the sparse kernel but (some of)
         // its phases executed the dense reference.
@@ -339,6 +401,119 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     }
     eprintln!("{emitted} cells swept");
     Ok(())
+}
+
+fn load_journal(path: &str) -> Result<Journal, String> {
+    let json = if path == "-" {
+        std::io::read_to_string(std::io::stdin()).map_err(|e| e.to_string())?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    Journal::from_json_str(&json).map_err(|e| format!("bad journal in {path}: {e}"))
+}
+
+/// Bumps the node of the `idx`-th node-bearing recorded event (the
+/// `--perturb` smoke hook), returning the step it corrupted.
+fn perturb_event(journal: &mut Journal, idx: usize) -> Result<u64, String> {
+    let mut seen = 0usize;
+    for e in &mut journal.events {
+        if e.kind.node().is_none() {
+            continue;
+        }
+        if seen == idx {
+            e.kind = match e.kind {
+                EventKind::Transmit(mut i) => {
+                    i.node += 1;
+                    EventKind::Transmit(i)
+                }
+                EventKind::Deliver(mut i) => {
+                    i.node += 1;
+                    EventKind::Deliver(i)
+                }
+                EventKind::Collision(mut i) => {
+                    i.node += 1;
+                    EventKind::Collision(i)
+                }
+                EventKind::Status(mut i) => {
+                    i.node += 1;
+                    EventKind::Status(i)
+                }
+                EventKind::Hint(mut i) => {
+                    i.node += 1;
+                    EventKind::Hint(i)
+                }
+                other => other,
+            };
+            return Ok(e.step);
+        }
+        seen += 1;
+    }
+    Err(format!("--perturb {idx}: the journal has only {seen} node-bearing events"))
+}
+
+fn cmd_replay(rest: &[String]) -> Result<ExitCode, String> {
+    let mut args = Args::new(rest);
+    let mut path: Option<String> = None;
+    let mut perturb: Option<usize> = None;
+    let mut out: Option<String> = None;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--perturb" => perturb = Some(parse(flag, args.value(flag)?)?),
+            "--out" => out = Some(args.value(flag)?.to_string()),
+            positional if !positional.starts_with("--") && path.is_none() => {
+                path = Some(positional.to_string());
+            }
+            other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
+        }
+    }
+    let path = path.ok_or("replay needs a JOURNAL file (see `radionet help`)")?;
+    let mut recorded = load_journal(&path)?;
+    if let Some(idx) = perturb {
+        let step = perturb_event(&mut recorded, idx)?;
+        eprintln!("perturbed node-bearing event {idx} at step {step}");
+    }
+    let outcome = replay(&Driver::standard(), &recorded).map_err(|e| e.to_string())?;
+    if let Some(path) = out {
+        let doc = outcome.replayed.to_json_string().map_err(|e| e.to_string())?;
+        let mut w = open_out(Some(&path))?;
+        writeln!(w, "{doc}").and_then(|()| w.flush()).map_err(|e| e.to_string())?;
+    }
+    println!("{}", outcome.comparison);
+    if outcome.matches() {
+        println!(
+            "replay reproduced the recording: {} events, fingerprint {:#018x}",
+            outcome.replayed.events.len(),
+            outcome.replayed.final_fingerprint
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(EXIT_DIVERGED))
+    }
+}
+
+fn cmd_bisect(rest: &[String]) -> Result<ExitCode, String> {
+    let mut args = Args::new(rest);
+    let mut paths: Vec<String> = Vec::new();
+    let mut classes = ClassMask::ALL;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--classes" => classes = ClassMask::parse(args.value(flag)?)?,
+            positional if !positional.starts_with("--") && paths.len() < 2 => {
+                paths.push(positional.to_string());
+            }
+            other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
+        }
+    }
+    let [left, right]: [String; 2] = paths
+        .try_into()
+        .map_err(|_| "bisect needs LEFT and RIGHT journal files (see `radionet help`)")?;
+    let report = bisect(&load_journal(&left)?, &load_journal(&right)?, classes);
+    println!("{report}");
+    if report.is_divergent() {
+        Ok(ExitCode::from(EXIT_DIVERGED))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 #[derive(Serialize)]

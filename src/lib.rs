@@ -22,6 +22,7 @@ pub use radionet_baselines as baselines;
 pub use radionet_cluster as cluster;
 pub use radionet_core as core;
 pub use radionet_graph as graph;
+pub use radionet_journal as journal;
 pub use radionet_mobility as mobility;
 pub use radionet_primitives as primitives;
 pub use radionet_scenario as scenario;

@@ -218,6 +218,30 @@ pub mod rngs {
     #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct SmallRng(Xoshiro256pp);
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing. A
+        /// generator rebuilt with [`SmallRng::from_state`] continues the
+        /// exact stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.0.s
+        }
+
+        /// Rebuilds a generator from [`SmallRng::state`] words.
+        ///
+        /// The all-zero state is a xoshiro fixed point (the stream would
+        /// be constant zero); it cannot come from [`SmallRng::state`] of a
+        /// seeded generator, and it is rejected here so a corrupted
+        /// checkpoint fails loudly instead of silently de-randomizing.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `s` is all zeros.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "the all-zero xoshiro state is degenerate");
+            SmallRng(Xoshiro256pp { s })
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             self.0.next_u64()

@@ -108,6 +108,32 @@ pub fn obj_get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value
         .ok_or_else(|| DeError::msg(format!("missing field `{key}`")))
 }
 
+/// Derive-macro helper: looks up a struct field, treating absence as
+/// [`Value::Null`]. This is what upstream serde's `default`-less `Option`
+/// fields effectively do at the JSON layer — a missing key and an explicit
+/// `null` both deserialize to `None` — and it lets serialized artifacts
+/// gain optional fields without invalidating previously recorded files.
+/// Required (non-`Option`) fields still fail, through their own
+/// type-mismatch error on `Null`.
+pub fn obj_get_or_null<'v>(fields: &'v [(String, Value)], key: &str) -> &'v Value {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&Value::Null)
+}
+
+// A `Value` is its own serialized form: embedding one in a derived struct
+// (e.g. a journal echoing back an arbitrary spec) passes the tree through
+// verbatim in both directions.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_de_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
@@ -384,6 +410,24 @@ mod tests {
         let back: [f64; 3] = <[f64; 3]>::from_value(&a.to_value()).unwrap();
         assert_eq!(back, a);
         assert!(<[f64; 3]>::from_value(&Value::Array(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn value_is_its_own_serialized_form() {
+        let v = Value::Object(vec![("k".into(), Value::U64(1))]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_fields_read_as_null() {
+        let fields = vec![("present".to_string(), Value::U64(3))];
+        assert_eq!(obj_get_or_null(&fields, "present"), &Value::U64(3));
+        assert_eq!(obj_get_or_null(&fields, "absent"), &Value::Null);
+        // An Option target therefore tolerates the absence...
+        assert_eq!(Option::<u32>::from_value(obj_get_or_null(&fields, "absent")).unwrap(), None);
+        // ...while a required scalar still errors on it.
+        assert!(u32::from_value(obj_get_or_null(&fields, "absent")).is_err());
     }
 
     #[test]

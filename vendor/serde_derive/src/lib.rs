@@ -9,6 +9,11 @@
 //! * unit structs (`struct Marker;`),
 //! * enums whose variants are unit or one-field tuples.
 //!
+//! Missing struct fields deserialize as `Value::Null` (upstream serde's
+//! behavior for `Option` fields at the JSON layer): `Option` targets read
+//! `None`, required fields fail with their own type mismatch. Recorded
+//! artifacts therefore survive gaining optional fields.
+//!
 //! Generics and `#[serde(...)]` attributes are not supported and produce a
 //! compile error naming the limitation.
 
@@ -231,7 +236,7 @@ fn struct_deserialize(name: &str, fields: &[String]) -> String {
     let mut builds = String::new();
     for f in fields {
         builds.push_str(&format!(
-            "{f}: ::serde::Deserialize::from_value(::serde::obj_get(__fields, \"{f}\")?)?,"
+            "{f}: ::serde::Deserialize::from_value(::serde::obj_get_or_null(__fields, \"{f}\"))?,"
         ));
     }
     format!(
