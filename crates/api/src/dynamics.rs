@@ -240,6 +240,18 @@ impl TopologyView for DynamicTopology {
     fn jammed_nodes(&self) -> &[NodeId] {
         &self.jam_list
     }
+
+    fn supports_event_jumps(&self) -> bool {
+        true
+    }
+
+    /// The next scripted event strictly after `clock`. The script is
+    /// sorted and the cursor has consumed every event with `at <= clock`,
+    /// so this is a short scan from the cursor (events sharing one `at`
+    /// are adjacent).
+    fn next_event(&self, clock: u64) -> Option<u64> {
+        self.events[self.cursor..].iter().find(|e| e.at > clock).map(|e| e.at)
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,20 @@ impl TopologyView for RunTopology {
         }
     }
 
+    fn supports_event_jumps(&self) -> bool {
+        match self {
+            RunTopology::Scripted(t) => t.supports_event_jumps(),
+            RunTopology::Mobile(t) => t.supports_event_jumps(),
+        }
+    }
+
+    fn next_event(&self, clock: u64) -> Option<u64> {
+        match self {
+            RunTopology::Scripted(t) => t.next_event(clock),
+            RunTopology::Mobile(t) => t.next_event(clock),
+        }
+    }
+
     fn positions(&self) -> Option<&[[f64; 3]]> {
         match self {
             // Qualified: `MobileTopology` also has an inherent

@@ -53,11 +53,32 @@ fn kernels_agree_for_every_task() {
     for key in driver.registry().keys() {
         let sparse = driver.run(&spec_for(key, 23).with_kernel(Kernel::Sparse)).unwrap();
         let dense = driver.run(&spec_for(key, 23).with_kernel(Kernel::Dense)).unwrap();
+        let event = driver.run(&spec_for(key, 23).with_kernel(Kernel::Event)).unwrap();
         assert_eq!(sparse.outcome, dense.outcome, "{key} kernels disagree");
-        assert_eq!(sparse.stats, dense.stats, "{key} kernel stats disagree");
+        assert_eq!(sparse.outcome, event.outcome, "{key} event kernel disagrees");
+        // Scheduler pop / skip counters are kernel-dependent by design;
+        // everything else in the stats must match byte-for-byte.
+        assert_eq!(
+            sparse.stats.kernel_invariant(),
+            dense.stats.kernel_invariant(),
+            "{key} kernel stats disagree"
+        );
+        assert_eq!(
+            sparse.stats.kernel_invariant(),
+            event.stats.kernel_invariant(),
+            "{key} event kernel stats disagree"
+        );
+        assert_eq!(
+            sparse.stats.scheduler_events, event.stats.scheduler_events,
+            "{key}: event kernel must pop exactly the wake entries sparse pops"
+        );
         assert_eq!(
             sparse.rng_fingerprint, dense.rng_fingerprint,
             "{key} kernel RNG streams disagree"
+        );
+        assert_eq!(
+            sparse.rng_fingerprint, event.rng_fingerprint,
+            "{key} event kernel RNG stream disagrees"
         );
     }
 }

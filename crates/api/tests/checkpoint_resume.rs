@@ -1,7 +1,7 @@
 //! Resume-at-k ≡ straight-through: a run checkpointed after `k` phases and
 //! resumed in a fresh simulator finishes bit-identically to one that never
-//! stopped — under **every** dynamics preset, both step kernels, and SINR
-//! reception.
+//! stopped — under **every** dynamics preset, all three step kernels, and
+//! SINR reception.
 //!
 //! This is the whole value of [`Checkpoint`]: the serialized document plus
 //! the original `(family, dynamics, seed)` recipe is a complete resume
@@ -122,11 +122,27 @@ fn resumed(preset: &Dynamics, kernel: Kernel, seed: u64, k: u64) -> (Vec<Gossip>
 fn resume_matches_straight_through_for_every_preset_and_kernel() {
     for name in Dynamics::PRESETS {
         let preset = Dynamics::preset(name).unwrap();
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let reference = straight(&preset, kernel, 17);
             let restored = resumed(&preset, kernel, 17, 2);
             assert_eq!(restored, reference, "{name} under {kernel:?} diverged after resume");
         }
+    }
+}
+
+/// The restore fast-forward jumps the topology through its event times
+/// instead of replaying every clock step: a checkpoint taken long after
+/// the last scripted event forces one long eventless leap, and the
+/// restored state must still be indistinguishable from never stopping.
+#[test]
+fn restore_jumps_past_a_quiet_script_tail() {
+    // All churn events land within the run's 60-step script; resuming at
+    // k=3 (clock 45) fast-forwards mostly through silence.
+    let preset = Dynamics::preset("churn").unwrap();
+    for kernel in [Kernel::Sparse, Kernel::Event] {
+        let reference = straight(&preset, kernel, 91);
+        let restored = resumed(&preset, kernel, 91, 3);
+        assert_eq!(restored, reference, "{kernel:?} diverged across the quiet tail");
     }
 }
 
@@ -178,12 +194,12 @@ proptest! {
     #[test]
     fn resume_at_k_is_straight_through(
         preset_idx in 0usize..Dynamics::PRESETS.len(),
-        dense in any::<bool>(),
+        kernel_idx in 0usize..3,
         seed in 0u64..1000,
         k in 1u64..PHASES,
     ) {
         let preset = Dynamics::preset(Dynamics::PRESETS[preset_idx]).unwrap();
-        let kernel = if dense { Kernel::Dense } else { Kernel::Sparse };
+        let kernel = [Kernel::Sparse, Kernel::Dense, Kernel::Event][kernel_idx];
         prop_assert_eq!(
             resumed(&preset, kernel, seed, k),
             straight(&preset, kernel, seed)

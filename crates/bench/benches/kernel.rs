@@ -1,10 +1,21 @@
-//! Criterion face-off: sparse active-set kernel vs dense reference kernel
-//! on a sparse Decay workload at n ≈ 100 000 (the acceptance benchmark —
-//! the sparse kernel must clear 5× step throughput; in practice the gap is
-//! orders of magnitude, since the dense kernel polls 100k nodes per step
-//! while ~32 transmit).
+//! Criterion face-off across the three step kernels at n ≈ 100 000.
+//!
+//! Two workloads:
+//!
+//! - `decay_sparse`: the E15 acceptance benchmark — 32 always-on Decay
+//!   transmitters among passive listeners. The sparse kernel must clear 5×
+//!   dense step throughput (in practice orders of magnitude: the dense
+//!   kernel polls 100k nodes per step while ~32 transmit). Transmitters
+//!   return `Wake::Now`, so the event kernel can never jump here — its
+//!   case prices the jump machinery's overhead on a jump-free workload
+//!   (expected: indistinguishable from sparse).
+//! - `burst_decay`: the E19 acceptance benchmark — the same transmitters
+//!   duty-cycled to one Decay iteration in 256, so almost every step is
+//!   silent. The event kernel charges each silent span in one clock jump
+//!   and must clear 5× sparse step throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use radionet_bench::experiments::BurstDecay;
 use radionet_graph::generators;
 use radionet_primitives::decay::{DecayConfig, DecayProtocol, DecaySchedule};
 use radionet_sim::{Kernel, NetInfo, Sim};
@@ -20,7 +31,7 @@ fn bench_kernels(c: &mut Criterion) {
     let config = DecayConfig { iterations: u32::MAX / schedule.steps_per_iteration() };
     let budget = 8 * schedule.steps_per_iteration() as u64;
     let stride = g.n() / 32;
-    for kernel in [Kernel::Sparse, Kernel::Dense] {
+    for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
         group.bench_function(format!("decay_sparse_100k_{kernel:?}"), |b| {
             b.iter_batched(
                 || {
@@ -37,6 +48,33 @@ fn bench_kernels(c: &mut Criterion) {
                 },
                 |(mut sim, mut states)| {
                     sim.run_phase(&mut states, budget);
+                    sim.stats().simulated_steps
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // Silent-span workload: 8 duty cycles at 1/32768 (~4.5M steps, almost
+    // all silent) — the dense kernel is omitted (it would pay Θ(n) for
+    // every one of them).
+    for kernel in [Kernel::Sparse, Kernel::Event] {
+        group.bench_function(format!("burst_decay_100k_{kernel:?}"), |b| {
+            b.iter_batched(
+                || {
+                    let states: Vec<BurstDecay> = g
+                        .nodes()
+                        .map(|v| {
+                            let msg = (v.index() % stride == 0).then_some(1u64);
+                            BurstDecay::new(schedule, 32768, 8, msg)
+                        })
+                        .collect();
+                    let mut sim = Sim::new(&g, info, 1);
+                    sim.set_kernel(kernel);
+                    (sim, states)
+                },
+                |(mut sim, mut states)| {
+                    let horizon = states[0].horizon();
+                    sim.run_phase(&mut states, horizon);
                     sim.stats().simulated_steps
                 },
                 BatchSize::SmallInput,

@@ -19,9 +19,11 @@
 //! | E16 | unified façade coverage | [`e16_facade`] |
 //! | E17 | mobility: incremental index + time-resolved α/D | [`e17_mobility`] |
 //! | E18 | geometry-native SINR: sparse vs dense reception | [`e18_sinr`] |
+//! | E19 | event kernel: clock jumps over silent spans | [`e19_event`] |
 
 mod broadcast_exp;
 mod cluster_exp;
+mod event_exp;
 mod facade_exp;
 mod mis_exp;
 mod mobility_exp;
@@ -33,6 +35,7 @@ mod throughput_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
 pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
+pub use event_exp::{e19_event, BurstDecay};
 pub use facade_exp::e16_facade;
 pub use mis_exp::{e10_golden_rounds, e3_mis_scaling, e4_mis_baselines};
 pub use mobility_exp::{dwell_heavy_waypoint, e17_mobility, udg_geometry};
@@ -99,6 +102,11 @@ pub const ALL: &[ExperimentDef] = &[
         id: "E18",
         claim: "geometry-native SINR: sparse spatial-index kernel vs dense reference",
         run: e18_sinr,
+    },
+    ExperimentDef {
+        id: "E19",
+        claim: "event kernel: silent spans cost one clock jump, not one step each",
+        run: e19_event,
     },
 ];
 

@@ -139,6 +139,10 @@ impl JournalSink for Recorder {
         });
         self.next_waypoint = step + self.checkpoint_every;
     }
+
+    fn next_checkpoint(&self) -> Option<u64> {
+        (self.checkpoint_every != 0).then_some(self.next_waypoint)
+    }
 }
 
 /// Deterministic per-class counters of a [`Journal`] — what a `RunReport`
@@ -171,8 +175,9 @@ pub struct JournalSummary {
 pub struct Journal {
     /// Free-form producer tag (tool and version).
     pub producer: String,
-    /// The kernel that produced the stream (`"sparse"` / `"dense"`), used
-    /// to decide whether two journals are order-comparable per class.
+    /// The kernel that produced the stream (`"sparse"` / `"dense"` /
+    /// `"event"`), used to decide whether two journals are
+    /// order-comparable per class.
     pub kernel: String,
     /// The class filter the recording ran under.
     pub mask: ClassMask,
@@ -278,6 +283,7 @@ mod tests {
     #[test]
     fn waypoints_follow_the_cadence() {
         let mut r = Recorder::new(ClassMask::ALL, 10);
+        assert_eq!(r.next_checkpoint(), Some(10));
         for boundary in 1..=25u64 {
             if r.checkpoint_due(boundary) {
                 r.record_waypoint(boundary, 0xfee1);
@@ -285,6 +291,8 @@ mod tests {
         }
         let steps: Vec<u64> = r.waypoints().iter().map(|w| w.step).collect();
         assert_eq!(steps, vec![10, 20]);
+        assert_eq!(r.next_checkpoint(), Some(30));
+        assert_eq!(Recorder::new(ClassMask::ALL, 0).next_checkpoint(), None);
     }
 
     #[test]

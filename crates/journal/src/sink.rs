@@ -41,6 +41,16 @@ pub trait JournalSink {
     fn record_waypoint(&mut self, step: u64, rng_fingerprint: u64) {
         let _ = (step, rng_fingerprint);
     }
+
+    /// The earliest future boundary at which
+    /// [`checkpoint_due`](JournalSink::checkpoint_due) would first answer
+    /// true, or `None` when no waypoint is ever due. The event-driven
+    /// kernel uses this to land on every waypoint step instead of jumping
+    /// over it, so a recording made under clock jumps keeps the exact
+    /// cadence of a stepped one. Sinks without waypoints keep the default.
+    fn next_checkpoint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The do-nothing sink: `ENABLED = false`, so the engine's instrumentation

@@ -518,6 +518,32 @@ impl TopologyView for MobileTopology {
         true
     }
 
+    fn supports_event_jumps(&self) -> bool {
+        true
+    }
+
+    /// The next tick or sample boundary strictly after `clock`. Landing on
+    /// **every** boundary (never batching several ticks into one
+    /// `advance_to`) is what keeps the deterministic counters — one
+    /// `motion_epoch` bump and one moved-set dedupe per boundary — and the
+    /// trace-sample cadence identical to a stepped drive; the engine steps
+    /// in the gaps between boundaries are no-ops (`ticks == 0`, no sample
+    /// edge), so skipping them is exact.
+    fn next_event(&self, clock: u64) -> Option<u64> {
+        // Before the baseline call every `advance_to` does work (it
+        // anchors `last_clock` and takes the t = 0 trace sample), so no
+        // step may be skipped yet.
+        if self.last_clock.is_none() {
+            return Some(clock + 1);
+        }
+        let next_tick = (clock / self.tick + 1) * self.tick;
+        let next = match self.sample_every {
+            Some(every) => next_tick.min((clock / every + 1) * every),
+            None => next_tick,
+        };
+        Some(next)
+    }
+
     /// The live moving point set — what `PositionSource::Live` SINR
     /// reception reads each step.
     fn positions(&self) -> Option<&[[f64; 3]]> {

@@ -1,35 +1,50 @@
 //! Scenario-level kernel equivalence: every (protocol × scenario) cell of
-//! the catalogue must produce the identical [`CellResult`] under the sparse
-//! and the dense kernel — full `Compete` broadcast, leader election, and
-//! radio MIS, under churn, partitions, jamming, and staggered wake-up.
+//! the catalogue must produce the identical [`CellResult`] under the
+//! sparse, dense, and event kernels — full `Compete` broadcast, leader
+//! election, and radio MIS, under churn, partitions, jamming, staggered
+//! wake-up, and mobility.
 //!
 //! This is the end-to-end counterpart of `radionet-sim`'s differential
 //! proptests: it exercises the real protocol stack (MIS → partition → ICP →
 //! propagation rounds, with all the `Wake` hints those implementations
-//! return) over `DynamicTopology`'s batch change feed.
+//! return) over `DynamicTopology`'s batch change feed and the mobility
+//! views' tick clocks. Results are compared after
+//! [`SimStats::kernel_invariant`] zeroes the kernel-dependent counters
+//! (scheduler pops, skipped silent steps) — everything else must match
+//! byte-for-byte.
 
 use proptest::prelude::*;
 use radionet_scenario::catalogue::Scenario;
-use radionet_scenario::runner::{run_cell_kernel, CellSpec, SweepConfig};
+use radionet_scenario::runner::{run_cell_kernel, CellResult, CellSpec, SweepConfig};
 use radionet_sim::{Kernel, ReceptionMode};
 
 fn cells(sizes: Vec<usize>, seeds: u64, base_seed: u64) -> Vec<CellSpec> {
     SweepConfig::catalogue(sizes, seeds, base_seed).cells()
 }
 
-/// The whole catalogue, one small size, both kernels, cell by cell.
+/// Runs the cell under one kernel and zeroes the kernel-dependent stats
+/// counters so whole results compare across kernels.
+fn run_invariant(spec: &CellSpec, kernel: Kernel) -> CellResult {
+    let mut r = run_cell_kernel(spec, kernel);
+    r.stats = r.stats.kernel_invariant();
+    r
+}
+
+/// The whole catalogue, one small size, all three kernels, cell by cell.
 #[test]
 fn catalogue_cells_agree_across_kernels() {
     for spec in cells(vec![36], 1, 0xbeef) {
-        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
-        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        let sparse = run_invariant(&spec, Kernel::Sparse);
+        let dense = run_invariant(&spec, Kernel::Dense);
+        let event = run_invariant(&spec, Kernel::Event);
         assert_eq!(sparse, dense, "kernel divergence in cell {:?}", spec.scenario.name);
+        assert_eq!(sparse, event, "event-kernel divergence in cell {:?}", spec.scenario.name);
     }
 }
 
 /// The mobility scenarios (topology derived from a moving point set): the
-/// sparse active-set kernel must reproduce the dense reference bit-for-bit
-/// on `MobileTopology` too.
+/// sparse active-set and clock-jumping event kernels must reproduce the
+/// dense reference bit-for-bit on `MobileTopology` too.
 #[test]
 fn mobility_cells_agree_across_kernels() {
     let config = SweepConfig {
@@ -39,9 +54,15 @@ fn mobility_cells_agree_across_kernels() {
         base_seed: 0x30b,
     };
     for spec in config.cells() {
-        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
-        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        let sparse = run_invariant(&spec, Kernel::Sparse);
+        let dense = run_invariant(&spec, Kernel::Dense);
+        let event = run_invariant(&spec, Kernel::Event);
         assert_eq!(sparse, dense, "kernel divergence in mobility cell {:?}", spec.scenario.name);
+        assert_eq!(
+            sparse, event,
+            "event-kernel divergence in mobility cell {:?}",
+            spec.scenario.name
+        );
     }
 }
 
@@ -54,9 +75,11 @@ fn catalogue_cells_agree_under_collision_detection() {
         spec.scenario.reception = ReceptionMode::ProtocolCd;
     }
     for spec in specs {
-        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
-        let dense = run_cell_kernel(&spec, Kernel::Dense);
+        let sparse = run_invariant(&spec, Kernel::Sparse);
+        let dense = run_invariant(&spec, Kernel::Dense);
+        let event = run_invariant(&spec, Kernel::Event);
         assert_eq!(sparse, dense, "CD kernel divergence in cell {:?}", spec.scenario.name);
+        assert_eq!(sparse, event, "CD event-kernel divergence in cell {:?}", spec.scenario.name);
     }
 }
 
@@ -75,8 +98,10 @@ proptest! {
             base_seed,
         };
         let spec = config.cells().into_iter().last().unwrap();
-        let sparse = run_cell_kernel(&spec, Kernel::Sparse);
-        let dense = run_cell_kernel(&spec, Kernel::Dense);
-        prop_assert_eq!(sparse, dense);
+        let sparse = run_invariant(&spec, Kernel::Sparse);
+        let dense = run_invariant(&spec, Kernel::Dense);
+        let event = run_invariant(&spec, Kernel::Event);
+        prop_assert_eq!(&sparse, &dense);
+        prop_assert_eq!(&sparse, &event);
     }
 }

@@ -1,7 +1,8 @@
-//! The phase-based simulation engine: a sparse active-set step kernel with
-//! a dense reference kernel behind a runtime flag.
+//! The phase-based simulation engine: a sparse active-set step kernel, an
+//! event-driven clock-jumping kernel on top of it, and a dense reference
+//! kernel behind a runtime flag.
 //!
-//! # The two kernels
+//! # The three kernels
 //!
 //! The **dense** kernel is the paper's model executed literally: every step
 //! it calls [`Protocol::act`] on every active node, then resolves reception.
@@ -37,12 +38,28 @@
 //! * topology dynamics arrive as a **batch change feed**
 //!   ([`TopologyView::drain_status_changes`]) instead of per-node polls.
 //!
-//! Both kernels are deterministic functions of `(graph, topology, info,
+//! The **event** kernel runs the exact same step body as the sparse kernel
+//! but stops paying for silent steps altogether: after each executed step
+//! it computes the earliest future step at which anything observable can
+//! happen — the next ring engagement, the earliest wake or done timer in
+//! the heaps, the topology view's next scripted/mobility event
+//! ([`TopologyView::next_event`]), the journal's next waypoint boundary
+//! ([`JournalSink::next_checkpoint`]), or a pending collision-detection jam
+//! signal — and jumps the phase clock directly there, charging the skipped
+//! span (counted in [`SimStats::silent_steps_skipped`]). A skipped step is
+//! one in which, provably, no node acts or hears, no RNG advances, no
+//! event is emitted and no waypoint is due, so every jumped run is
+//! byte-identical to its stepped counterpart. Views that cannot bound
+//! their next change ([`TopologyView::supports_event_jumps`] is false)
+//! make the event kernel fall back to the stepping sparse kernel, recorded
+//! via the same `fell_back` path as the sparse→dense fallback.
+//!
+//! All kernels are deterministic functions of `(graph, topology, info,
 //! seed)` and produce identical [`PhaseReport`]s, [`SimStats`] and per-node
 //! RNG streams as long as protocols honor the [`Wake`] contract; the
 //! `kernel_equiv` proptests assert exactly that across the protocol and
 //! scenario catalogues (the one deliberate exception:
-//! [`FarFieldPolicy::Cutoff`] is honored by the sparse kernel only — the
+//! [`FarFieldPolicy::Cutoff`] is honored by the sparse kernels only — the
 //! dense reference always computes exact interference).
 
 use crate::protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
@@ -111,10 +128,13 @@ pub struct PhaseReport {
     pub collisions: u64,
     /// Whether every node reported [`Protocol::is_done`] before the budget.
     pub completed: bool,
-    /// Whether [`Kernel::Sparse`] was requested but the phase executed the
-    /// dense reference kernel (the topology view has no change feed).
-    /// Accumulated into [`SimStats::kernel_fallbacks`] so a silently
-    /// degraded run is observable in every report.
+    /// Whether the requested kernel was unavailable and the phase executed
+    /// a slower one: [`Kernel::Sparse`] degraded to the dense reference
+    /// (the topology view has no change feed), or [`Kernel::Event`]
+    /// degraded to the stepping sparse kernel (the view cannot bound its
+    /// next event) or further to dense. Accumulated into
+    /// [`SimStats::kernel_fallbacks`] so a silently degraded run is
+    /// observable in every report.
     pub fell_back: bool,
 }
 
@@ -135,6 +155,16 @@ pub enum Kernel {
     /// [`Wake`] hints. Always correct, never fast; kept as the
     /// differential-testing oracle.
     Dense,
+    /// The event-driven kernel: the sparse step body plus clock jumps over
+    /// provably silent spans (see the module docs). Byte-identical to
+    /// [`Kernel::Sparse`] on every report, event stream and RNG draw;
+    /// skipped spans show up in [`SimStats::silent_steps_skipped`]. Falls
+    /// back to the stepping sparse kernel when the topology view cannot
+    /// bound its next event ([`TopologyView::supports_event_jumps`]), and
+    /// further to [`Kernel::Dense`] without a change feed; either fallback
+    /// is recorded in [`PhaseReport::fell_back`] and
+    /// [`SimStats::kernel_fallbacks`], never silent.
+    Event,
 }
 
 impl Kernel {
@@ -143,6 +173,7 @@ impl Kernel {
         match self {
             Kernel::Sparse => "sparse",
             Kernel::Dense => "dense",
+            Kernel::Event => "event",
         }
     }
 }
@@ -235,6 +266,13 @@ struct SparseSched {
     listen_defer: Vec<(u32, bool)>,
     /// Number of unfinished nodes; the phase completes when it hits 0.
     pending: usize,
+    /// Wake-heap entries popped this phase (stale ones included) — the
+    /// phase's contribution to [`SimStats::scheduler_events`]. Identical
+    /// between the sparse and event kernels: both pop exactly the entries
+    /// that come due before the phase ends (the event kernel lands on
+    /// every heap-peek time, and entries past the budget are dropped at
+    /// push time).
+    pops: u64,
 }
 
 impl SparseSched {
@@ -257,6 +295,7 @@ impl SparseSched {
         self.was_active.clear();
         self.was_active.resize(n, false);
         self.pending = 0;
+        self.pops = 0;
     }
 
     /// Schedules `act` for node `i` at `step` (deduplicated).
@@ -326,6 +365,7 @@ impl SparseSched {
                 break;
             }
             self.act_heap.pop();
+            self.pops += 1;
             let iu = i as usize;
             if ep == self.epoch[iu] && self.was_active[iu] {
                 self.ring_at(iu, t, t);
@@ -340,6 +380,7 @@ impl SparseSched {
                 break;
             }
             self.done_heap.pop();
+            self.pops += 1;
             let iu = i as usize;
             if ep == self.epoch[iu] {
                 self.mark_done(iu);
@@ -674,12 +715,19 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
     /// Overwrites the resumable core (clock, phase counter, stats, RNG
     /// streams) and fast-forwards the topology view — checkpoint-restore
     /// support, see [`Checkpoint`](crate::Checkpoint). Must only run on a
-    /// freshly constructed `Sim` (the caller checks): the view is
-    /// re-driven through the exact `advance_to` sequence the recorded run
-    /// performed, one call per executed step, so step-indexed views
-    /// (mobility walks, churn scripts) land in the identical internal
-    /// state; the change feed accumulated during the fast-forward is then
-    /// discarded, just as a sparse phase start would.
+    /// freshly constructed `Sim` (the caller checks).
+    ///
+    /// Views that can bound their next observable change
+    /// ([`TopologyView::supports_event_jumps`]) are fast-forwarded
+    /// event-to-event — `O(events)` `advance_to` calls instead of
+    /// `O(clock)` — landing on every [`TopologyView::next_event`] time and
+    /// finishing with an explicit `advance_to(clock - 1)`, so the view's
+    /// internal cursor matches a stepped restore exactly (the skipped gaps
+    /// provably contain no event, so the per-step calls they replace were
+    /// no-ops). Other views are re-driven through the exact `advance_to`
+    /// sequence the recorded run performed, one call per executed step.
+    /// Either way the change feed accumulated during the fast-forward is
+    /// then discarded, just as a sparse phase start would.
     pub(crate) fn restore_core(
         &mut self,
         clock: u64,
@@ -687,8 +735,23 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         stats: SimStats,
         rngs: Vec<SmallRng>,
     ) {
-        for t in 0..clock {
-            self.topo.advance_to(self.graph, t);
+        if clock > 0 && self.topo.supports_event_jumps() {
+            let mut t = 0u64;
+            loop {
+                self.topo.advance_to(self.graph, t);
+                if t == clock - 1 {
+                    break;
+                }
+                // Next event time, clamped into the restored span; the
+                // `max` guards against a view answering `<= t` (the
+                // contract forbids it, but an infinite loop is a worse
+                // failure mode than one extra call).
+                t = self.topo.next_event(t).map_or(clock - 1, |e| e.min(clock - 1)).max(t + 1);
+            }
+        } else {
+            for t in 0..clock {
+                self.topo.advance_to(self.graph, t);
+            }
         }
         self.sched.changed.clear();
         self.topo.drain_status_changes(&mut self.sched.changed);
@@ -725,20 +788,27 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
     pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
         assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
         let sparse_ok = self.topo.supports_change_feed();
+        let event_ok = sparse_ok && self.topo.supports_event_jumps();
         let phase = self.phase;
         emit(&mut self.journal, EventClass::Phase, self.clock, || {
             EventKind::PhaseStart(PhaseInfo { phase })
         });
-        let fell_back = self.kernel == Kernel::Sparse && !sparse_ok;
+        let fell_back = match self.kernel {
+            Kernel::Sparse => !sparse_ok,
+            Kernel::Event => !event_ok,
+            Kernel::Dense => false,
+        };
         if fell_back {
             emit(&mut self.journal, EventClass::Phase, self.clock, || {
                 EventKind::Fallback(PhaseInfo { phase })
             });
         }
-        let mut report = if self.kernel == Kernel::Sparse && sparse_ok {
-            self.run_phase_sparse(states, max_steps)
-        } else {
-            self.run_phase_dense(states, max_steps)
+        let mut report = match self.kernel {
+            Kernel::Event if event_ok => self.run_phase_sparse(states, max_steps, true),
+            Kernel::Event | Kernel::Sparse if sparse_ok => {
+                self.run_phase_sparse(states, max_steps, false)
+            }
+            _ => self.run_phase_dense(states, max_steps),
         };
         // A requested-but-unavailable sparse kernel is a quiet Θ(n)-per-
         // step regression; record it so reports and the CLI can surface it.
@@ -982,8 +1052,23 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         report
     }
 
-    /// The sparse active-set kernel (see the module docs).
-    fn run_phase_sparse<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
+    /// The sparse active-set kernel, and — with `event` — the event-driven
+    /// kernel on top of it (see the module docs). Both run the identical
+    /// step body; `event` only changes how the phase-local clock advances
+    /// between executed steps: stepping (`local_t + 1`) versus jumping to
+    /// the earliest step at which anything observable can happen. A
+    /// skipped step is provably empty — the next ring is empty, no wake or
+    /// done timer is due, the topology view promises no change, no
+    /// waypoint boundary falls inside the span, and (under collision
+    /// detection) no jam-exposed listener is waiting for its per-step jam
+    /// signal — so charging it without executing is byte-identical to
+    /// stepping through it.
+    fn run_phase_sparse<P: Protocol>(
+        &mut self,
+        states: &mut [P],
+        max_steps: u64,
+        event: bool,
+    ) -> PhaseReport {
         let n = states.len();
         let mut report = PhaseReport {
             steps: 0,
@@ -1027,9 +1112,11 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         }
         let mut arena: Vec<P::Msg> = Vec::new();
         let cd = self.reception == ReceptionMode::ProtocolCd;
+        let mut skipped = 0u64;
 
-        for local_t in 0..max_steps {
-            let gstep = self.clock + report.steps;
+        let mut local_t = 0u64;
+        while local_t < max_steps {
+            let gstep = self.clock + local_t;
             self.topo.advance_to(self.graph, gstep);
 
             // (1) Batch topology changes: reactivated nodes rejoin the ring
@@ -1389,7 +1476,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                 }
             }
 
-            report.steps += 1;
+            report.steps = local_t + 1;
             if J::ENABLED && self.journal.checkpoint_due(self.clock + report.steps) {
                 let fp = self.rng_fingerprint();
                 self.journal.record_waypoint(self.clock + report.steps, fp);
@@ -1409,7 +1496,60 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
             }
             std::mem::swap(&mut self.sched.ring, &mut self.sched.next_ring);
             self.sched.next_ring.clear();
+
+            // (6) Advance the phase-local clock. Stepping kernel: one step.
+            // Event kernel: jump to the earliest step at which anything
+            // observable can happen, charging the provably silent span.
+            let next = if !event || !self.sched.ring.is_empty() {
+                // Something is engaged for the very next step (the swapped
+                // ring is next step's work list) — no jump possible.
+                local_t + 1
+            } else if cd && self.topo.jammed_nodes().iter().any(|w| self.listening[w.index()]) {
+                // A jam-exposed listener receives the collision-detection
+                // jam signal on *every* step, so no step is silent while
+                // one exists. The set is invariant over a silent span
+                // (listening flips only on executed steps, the jam set
+                // only at topology events — both land), so checking once
+                // here covers the whole would-be jump.
+                local_t + 1
+            } else {
+                let mut next = max_steps;
+                // Earliest wake/done timer. Stale lazy-deletion entries
+                // are safe: landing on one executes a provably empty step
+                // (the pop discards it, the ring stays empty), exactly
+                // what the stepping kernel does at that time.
+                if let Some(&Reverse((at, _, _))) = self.sched.act_heap.peek() {
+                    next = next.min(at);
+                }
+                if let Some(&Reverse((at, _, _))) = self.sched.done_heap.peek() {
+                    next = next.min(at);
+                }
+                // Next scripted/mobility event: land on it so `advance_to`
+                // is called at every time the view's state (or its
+                // deterministic counters) may change.
+                if let Some(e) = self.topo.next_event(gstep) {
+                    next = next.min(e.saturating_sub(self.clock));
+                }
+                // Next waypoint boundary `w` is checked after executing
+                // step `w - clock - 1`; land there so the recording keeps
+                // the stepped cadence (boundaries beyond the span are not
+                // due, so charging past them is exact).
+                if J::ENABLED {
+                    if let Some(w) = self.journal.next_checkpoint() {
+                        next = next.min(w.saturating_sub(self.clock).saturating_sub(1));
+                    }
+                }
+                next.clamp(local_t + 1, max_steps)
+            };
+            skipped += next - (local_t + 1);
+            // Charge the skipped span to the phase clock; if the budget
+            // runs out inside it, the phase ends exactly where the
+            // stepping kernel's would (`next` is clamped to `max_steps`).
+            report.steps = next;
+            local_t = next;
         }
+        self.stats.scheduler_events += self.sched.pops;
+        self.stats.silent_steps_skipped += skipped;
         report
     }
 }
@@ -1594,7 +1734,7 @@ mod tests {
     #[test]
     fn jammed_listener_hears_nothing_in_protocol_model() {
         // Star, hub 0 transmits; leaf 1 sits next to a (modeled) jammer.
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(4);
             let info = NetInfo::exact(&g);
             let jam = JamView::new(vec![false, true, false, false]);
@@ -1641,7 +1781,7 @@ mod tests {
         // Hub 0 beacons forever; leaf 2 is asleep until step 5. The phase
         // must keep running past the point where all *currently active*
         // nodes are done, so the sleeper's wake-up is actually simulated.
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(4);
             let info = NetInfo::exact(&g);
             let topo = Sleeper::new(2, Some(5));
@@ -1660,7 +1800,7 @@ mod tests {
     fn phase_completes_past_a_retired_node() {
         // Same setup but the sleeper never returns: it is retired, and the
         // phase completes as soon as everyone else is done.
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(4);
             let info = NetInfo::exact(&g);
             let topo = Sleeper::new(2, None);
@@ -1830,6 +1970,7 @@ mod tests {
             (rep, sim.rng_fingerprint(), states.into_iter().map(|c| c.sent).collect::<Vec<_>>())
         };
         assert_eq!(run(Kernel::Sparse), run(Kernel::Dense));
+        assert_eq!(run(Kernel::Sparse), run(Kernel::Event));
     }
 
     #[test]
@@ -1872,7 +2013,9 @@ mod tests {
 
     #[test]
     fn passive_listener_completes_at_its_promised_step() {
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        // Under `Kernel::Event` this phase is all skip: nothing ever acts,
+        // so the clock jumps straight to the promised done step.
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(3);
             let mut sim = Sim::new(&g, NetInfo::exact(&g), 1);
             sim.set_kernel(kernel);
@@ -1891,7 +2034,7 @@ mod tests {
     fn passive_listener_still_hears() {
         // Hub transmits every step; leaves are passive listeners whose act
         // is skipped by the sparse kernel — deliveries must be unaffected.
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(4);
             let mut sim = Sim::new(&g, NetInfo::exact(&g), 1);
             sim.set_kernel(kernel);
@@ -1965,7 +2108,7 @@ mod tests {
     fn cd_jam_signal_reaches_silent_listeners_in_both_kernels() {
         // No transmitter at all; node 0 is jam-exposed. With CD it must be
         // told each step (jamming is indistinguishable from a collision).
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = generators::star(3);
             let info = NetInfo::exact(&g);
             let jam = JamView::new(vec![true, false, false]);
@@ -2105,6 +2248,25 @@ mod tests {
         let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
         assert!(!rep.fell_back);
         assert_eq!(sim.stats().kernel_fallbacks, 0);
+        // Event over a feed-less view: dense runs, and says so.
+        let mut sim = Sim::with_topology(&g, NoFeed, info, 0, ReceptionMode::Protocol);
+        sim.set_kernel(Kernel::Event);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
+        assert!(rep.fell_back, "event over a feed-less view is a (dense) fallback");
+        // Event over a change-feed view with no `next_event` support: the
+        // sparse body runs, still recorded as a fallback.
+        let jam = JamView::new(vec![false; 4]);
+        let mut sim = Sim::with_topology(&g, jam, info, 0, ReceptionMode::Protocol);
+        sim.set_kernel(Kernel::Event);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
+        assert!(rep.fell_back, "event without jump support is a (sparse) fallback");
+        assert_eq!(sim.stats().kernel_fallbacks, 1);
+        // Event over a jump-capable view: no fallback.
+        let mut sim = Sim::new(&g, info, 0);
+        sim.set_kernel(Kernel::Event);
+        let rep = sim.run_phase(&mut chatters(&g, &[0]), 2);
+        assert!(!rep.fell_back);
+        assert_eq!(sim.stats().kernel_fallbacks, 0);
     }
 
     /// Scattered unit-disk-style points for SINR kernel tests.
@@ -2124,10 +2286,11 @@ mod tests {
             sim.set_kernel(kernel);
             let mut states: Vec<Coin> = g.nodes().map(|_| Coin { sent: Vec::new() }).collect();
             let rep = sim.run_phase(&mut states, 60);
-            (rep, *sim.stats(), sim.rng_fingerprint())
+            (rep, sim.stats().kernel_invariant(), sim.rng_fingerprint())
         };
         let (sparse, dense) = (run(Kernel::Sparse), run(Kernel::Dense));
         assert_eq!(sparse, dense);
+        assert_eq!(sparse, run(Kernel::Event));
         assert!(sparse.0.deliveries > 0, "degenerate test: nothing was ever delivered");
     }
 
@@ -2152,6 +2315,7 @@ mod tests {
             };
             let (sparse, dense) = (run(Kernel::Sparse), run(Kernel::Dense));
             assert_eq!(sparse, dense, "offset {offset}");
+            assert_eq!(sparse, run(Kernel::Event), "offset {offset}");
             assert!(sparse.0.deliveries > 0, "offset {offset}: nothing delivered");
         }
     }
@@ -2217,6 +2381,7 @@ mod tests {
         };
         let sparse = run(Kernel::Sparse);
         let dense = run(Kernel::Dense);
+        let event = run(Kernel::Event);
         // The schedulers differ by design (hints exist only sparsely)…
         assert!(sparse.summary().sched > 0);
         assert_eq!(dense.summary().sched, 0);
@@ -2227,6 +2392,11 @@ mod tests {
         let report = bisect(&sparse, &dense, ClassMask::ALL);
         assert!(!report.is_divergent(), "{report}");
         assert!(report.left_events > 0);
+        // The event kernel must reproduce the sparse journal byte-for-byte
+        // — waypoints landed on the same steps, same full event stream.
+        assert_eq!(sparse.waypoints, event.waypoints);
+        let report = bisect(&sparse, &event, ClassMask::ALL);
+        assert!(!report.is_divergent(), "{report}");
     }
 
     #[test]
@@ -2254,6 +2424,7 @@ mod tests {
         let sparse = run(Kernel::Sparse);
         let dense = run(Kernel::Dense);
         assert_eq!(sparse, dense);
+        assert_eq!(sparse, run(Kernel::Event));
         assert_eq!(sparse.len(), 1, "exactly the sleeper's wake-up: {sparse:?}");
         assert_eq!(sparse[0].step, 5);
         assert_eq!(sparse[0].kind.node(), Some(2));
@@ -2262,8 +2433,8 @@ mod tests {
     #[test]
     fn sinr_capture_effect_both_kernels() {
         // The capture-effect scenario of `sinr_capture_effect`, pinned on
-        // both kernels explicitly.
-        for kernel in [Kernel::Sparse, Kernel::Dense] {
+        // every kernel explicitly.
+        for kernel in [Kernel::Sparse, Kernel::Dense, Kernel::Event] {
             let g = Graph::from_edges(3, [(0, 1), (0, 2), (1, 2)]).unwrap();
             let positions = vec![(0.0, 0.0), (0.1, 0.0), (0.9, 0.0)];
             let mode =

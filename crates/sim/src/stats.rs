@@ -40,12 +40,34 @@ pub struct SimStats {
     /// Grid rows recomputed by a mobility-backed topology view; zero for
     /// static views.
     pub mobility_rows_recomputed: u64,
+    /// Wake-heap entries popped by the sparse scheduler (act and listen
+    /// deadlines, stale lazy-deletion entries included). Identical between
+    /// the sparse and event kernels by construction — both pop exactly the
+    /// entries that come due inside the phase — and zero for the dense
+    /// kernel, which has no scheduler.
+    pub scheduler_events: u64,
+    /// Steps the event kernel ([`Kernel::Event`](crate::Kernel::Event))
+    /// charged to the clock without executing, because nothing could
+    /// observably happen in them. Always zero for the stepping kernels.
+    /// `simulated_steps` still counts these (the phase clock is
+    /// kernel-invariant); this counter says how many of them were free.
+    pub silent_steps_skipped: u64,
 }
 
 impl SimStats {
     /// Total clock: simulated plus charged.
     pub fn total_steps(&self) -> u64 {
         self.simulated_steps + self.charged_steps
+    }
+
+    /// A copy with every kernel-*dependent* counter zeroed
+    /// (`kernel_fallbacks`, `scheduler_events`, `silent_steps_skipped`).
+    /// What remains must be byte-identical across the dense, sparse and
+    /// event kernels, so cross-kernel equivalence tests compare
+    /// `a.kernel_invariant() == b.kernel_invariant()` instead of listing
+    /// fields.
+    pub fn kernel_invariant(&self) -> SimStats {
+        SimStats { kernel_fallbacks: 0, scheduler_events: 0, silent_steps_skipped: 0, ..*self }
     }
 
     pub(crate) fn absorb_phase(&mut self, rep: &PhaseReport) {
@@ -88,5 +110,21 @@ mod tests {
         assert_eq!(s.kernel_fallbacks, 1);
         assert_eq!(s.phases, 2);
         assert_eq!(s.total_steps(), 12);
+    }
+
+    #[test]
+    fn kernel_invariant_zeroes_only_scheduler_counters() {
+        let s = SimStats {
+            deliveries: 3,
+            kernel_fallbacks: 1,
+            scheduler_events: 5,
+            silent_steps_skipped: 9,
+            ..SimStats::default()
+        };
+        let inv = s.kernel_invariant();
+        assert_eq!(inv.kernel_fallbacks, 0);
+        assert_eq!(inv.scheduler_events, 0);
+        assert_eq!(inv.silent_steps_skipped, 0);
+        assert_eq!(inv.deliveries, 3, "invariant counters must survive");
     }
 }

@@ -115,6 +115,42 @@ pub trait TopologyView {
         0
     }
 
+    /// Whether this view can **bound its next observable change** via
+    /// [`next_event`](TopologyView::next_event), which is what the
+    /// event-driven kernel ([`Kernel::Event`](crate::Kernel)) needs to jump
+    /// the clock over silent spans, and what
+    /// `Checkpoint::restore_into` uses to fast-forward a restored topology
+    /// event-to-event instead of step-by-step. Views answering `false`
+    /// force the event kernel back onto the stepping sparse kernel
+    /// (recorded via the `fell_back` path). Only meaningful alongside
+    /// [`supports_change_feed`](TopologyView::supports_change_feed).
+    fn supports_event_jumps(&self) -> bool {
+        false
+    }
+
+    /// The earliest global clock `t > clock` at which this view's
+    /// observable state (active/jammed/retired status, edge set, positions,
+    /// or any [`advance_to`](TopologyView::advance_to)-driven counter) may
+    /// next change, or `None` if it never will.
+    ///
+    /// # Contract (batch fast-forward)
+    ///
+    /// Callers that jump rely on this being **conservative and complete**:
+    /// calling `advance_to(base, t)` for exactly the sequence of times
+    /// returned by repeated `next_event` queries must leave the view — and
+    /// every deterministic counter it exposes (e.g.
+    /// [`index_work`](TopologyView::index_work)) — in the same state as
+    /// calling `advance_to` at every intermediate clock value. Returning a
+    /// time that turns out to be changeless is safe (the caller lands on an
+    /// uneventful step); returning a time *past* a change is not. Only
+    /// consulted when
+    /// [`supports_event_jumps`](TopologyView::supports_event_jumps) is
+    /// true.
+    fn next_event(&self, clock: u64) -> Option<u64> {
+        let _ = clock;
+        None
+    }
+
     /// Cumulative spatial-index maintenance work the view has performed:
     /// `(cell_crossings, rows_recomputed)`. The engine copies these into
     /// [`SimStats`](crate::SimStats) after every phase so mobility-driven
@@ -160,6 +196,13 @@ impl TopologyView for StaticTopology {
     fn supports_change_feed(&self) -> bool {
         true
     }
+
+    /// Nothing ever changes, so the next-event bound is trivially exact:
+    /// there is none.
+    #[inline]
+    fn supports_event_jumps(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +213,8 @@ mod tests {
     fn static_view_is_identity() {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
         let mut view = StaticTopology;
+        assert!(view.supports_event_jumps());
+        assert_eq!(view.next_event(0), None, "a static view never has a next event");
         view.advance_to(&g, 1000);
         for v in g.nodes() {
             assert_eq!(view.neighbors(&g, v), g.neighbors(v));

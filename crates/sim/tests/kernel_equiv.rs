@@ -1,7 +1,11 @@
-//! Differential tests: the sparse active-set kernel must be byte-identical
-//! to the dense reference kernel — same [`PhaseReport`]s, same [`SimStats`],
-//! same per-node RNG streams, same final protocol state — across protocol
-//! patterns, reception modes, and dynamic topologies.
+//! Differential tests: the sparse active-set kernel and the clock-jumping
+//! event kernel must be byte-identical to the dense reference kernel —
+//! same [`PhaseReport`]s, same kernel-invariant [`SimStats`], same
+//! per-node RNG streams, same final protocol state — across protocol
+//! patterns, reception modes, and dynamic topologies. Every case runs the
+//! three-way face-off (sparse ≡ dense ≡ event); [`ScriptView`] implements
+//! `next_event`, so the event kernel genuinely jumps here rather than
+//! falling back.
 //!
 //! The protocols here are small archetypes of every [`Wake`] pattern the
 //! workspace uses: always-on randomized talkers (`Now`), passive listeners
@@ -123,6 +127,20 @@ impl TopologyView for ScriptView {
 
     fn jammed_nodes(&self) -> &[NodeId] {
         &self.jam_list
+    }
+
+    fn supports_event_jumps(&self) -> bool {
+        true
+    }
+
+    fn next_event(&self, clock: u64) -> Option<u64> {
+        // Every window edge is an event: the first step of a down/jam
+        // window and the first step after it. Landing on each edge (and
+        // nowhere in between) reproduces exactly the status changes and
+        // jam sets a step-by-step walk would see.
+        let down_edges = self.down.iter().flatten().flat_map(|&(d, u)| [d, u]);
+        let jam_edges = self.jam.iter().flatten().flat_map(|&(f, u)| [f, u]);
+        down_edges.chain(jam_edges).filter(|&e| e > clock && e < u64::MAX).min()
     }
 }
 
@@ -256,44 +274,56 @@ impl Protocol for CdEar {
     }
 }
 
-fn both_kernels<P, F, S>(
+fn all_kernels<P, F, S>(
     mk: F,
     view: &ScriptView,
     g: &Graph,
     seed: u64,
     steps: u64,
-) -> [(PhaseReport, SimStats, u64, Vec<S>); 2]
+) -> [(PhaseReport, SimStats, u64, Vec<S>); 3]
 where
     P: Protocol,
     F: Fn(usize) -> P,
     S: PartialEq + std::fmt::Debug,
     P: Snapshot<S>,
 {
-    both_kernels_with(mk, view, g, seed, steps, ReceptionMode::Protocol)
+    all_kernels_with(mk, view, g, seed, steps, ReceptionMode::Protocol)
 }
 
-fn both_kernels_with<P, F, S>(
+/// Runs the same phase under all three kernels (sparse, dense, event) and
+/// returns the observables with kernel-dependent stats counters zeroed, so
+/// callers compare whole tuples. Sparse/event scheduler parity (identical
+/// heap pops) is asserted here once, before the counters are erased.
+fn all_kernels_with<P, F, S>(
     mk: F,
     view: &ScriptView,
     g: &Graph,
     seed: u64,
     steps: u64,
     reception: ReceptionMode,
-) -> [(PhaseReport, SimStats, u64, Vec<S>); 2]
+) -> [(PhaseReport, SimStats, u64, Vec<S>); 3]
 where
     P: Protocol,
     F: Fn(usize) -> P,
     S: PartialEq + std::fmt::Debug,
     P: Snapshot<S>,
 {
-    [Kernel::Sparse, Kernel::Dense].map(|kernel| {
+    let mut runs = [Kernel::Sparse, Kernel::Dense, Kernel::Event].map(|kernel| {
         let info = NetInfo { n: g.n().max(2), d: 4, alpha: (g.n() as f64).max(2.0) };
         let mut sim = Sim::with_topology(g, view.clone(), info, seed, reception.clone());
         sim.set_kernel(kernel);
         let mut states: Vec<P> = (0..g.n()).map(&mk).collect();
         let rep = sim.run_phase(&mut states, steps);
         (rep, *sim.stats(), sim.rng_fingerprint(), states.iter().map(Snapshot::snapshot).collect())
-    })
+    });
+    assert_eq!(
+        runs[0].1.scheduler_events, runs[2].1.scheduler_events,
+        "event kernel must pop exactly the wake entries sparse pops"
+    );
+    for r in &mut runs {
+        r.1 = r.1.kernel_invariant();
+    }
+    runs
 }
 
 /// A position snapshot scattering `n` nodes over a square whose side keeps
@@ -370,11 +400,12 @@ proptest! {
         steps in 1u64..60,
     ) {
         let view = ScriptView::new(vec![None; g.n()], vec![None; g.n()]);
-        let [a, b] = both_kernels(
+        let [a, b, c] = all_kernels(
             |_| Talker { p_milli: p, sent: 0, heard: Vec::new() },
             &view, &g, seed, steps,
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     #[test]
@@ -384,11 +415,12 @@ proptest! {
         steps in 1u64..60,
     ) {
         let (g, view) = case;
-        let [a, b] = both_kernels(
+        let [a, b, c] = all_kernels(
             |_| Talker { p_milli: 300, sent: 0, heard: Vec::new() },
             &view, &g, seed, steps,
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     #[test]
@@ -399,7 +431,7 @@ proptest! {
         steps in 1u64..120,
     ) {
         let view = ScriptView::new(vec![None; g.n()], vec![None; g.n()]);
-        let [a, b] = both_kernels(
+        let [a, b, c] = all_kernels(
             |i| Flooder {
                 best: (i == 0).then_some(100),
                 active_steps: 0,
@@ -408,7 +440,8 @@ proptest! {
             },
             &view, &g, seed, steps,
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     #[test]
@@ -419,7 +452,7 @@ proptest! {
         steps in 1u64..90,
     ) {
         let (g, view) = case;
-        let [a, b] = both_kernels(
+        let [a, b, c] = all_kernels(
             |i| Flooder {
                 best: (i == 0).then_some(100),
                 active_steps: 0,
@@ -428,7 +461,8 @@ proptest! {
             },
             &view, &g, seed, steps,
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     #[test]
@@ -440,11 +474,12 @@ proptest! {
         steps in 1u64..70,
     ) {
         let view = ScriptView::new(vec![None; g.n()], vec![None; g.n()]);
-        let [a, b] = both_kernels(
+        let [a, b, c] = all_kernels(
             |_| SlotBeacon { period, horizon, last: 0, txs: 0 },
             &view, &g, seed, steps,
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     /// SINR reception on a static topology: the spatially-indexed sparse
@@ -459,7 +494,7 @@ proptest! {
     ) {
         let n = g.n();
         let view = ScriptView::new(vec![None; n], vec![None; n]);
-        let [a, b] = both_kernels_with(
+        let [a, b, c] = all_kernels_with(
             |_| Talker { p_milli: p, sent: 0, heard: Vec::new() },
             &view, &g, seed, steps,
             sinr_mode((0..n).map(|i| {
@@ -473,7 +508,8 @@ proptest! {
             }).collect()),
         );
         prop_assert_eq!(a.0.fell_back, false, "SINR must run sparse");
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     /// SINR under scripted dynamics (crash/rejoin windows + jam windows):
@@ -493,12 +529,13 @@ proptest! {
             let h = positions_seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(i as u64 * 7);
             [(h % 2048) as f64 / 2048.0 * side, ((h >> 11) % 2048) as f64 / 2048.0 * side, 0.0]
         }).collect();
-        let [a, b] = both_kernels_with(
+        let [a, b, c] = all_kernels_with(
             |_| Talker { p_milli: 300, sent: 0, heard: Vec::new() },
             &view, &g, seed, steps,
             sinr_mode(pts),
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     /// Flooders (re-engagement via on_hear) under SINR: the sparse
@@ -516,7 +553,7 @@ proptest! {
         let mut pts = pts;
         pts.resize(n, [0.5, 0.5, 0.0]);
         let view = ScriptView::new(vec![None; n], vec![None; n]);
-        let [a, b] = both_kernels_with(
+        let [a, b, c] = all_kernels_with(
             |i| Flooder {
                 best: (i == 0).then_some(100),
                 active_steps: 0,
@@ -526,7 +563,8 @@ proptest! {
             &view, &g, seed, steps,
             sinr_mode(pts),
         );
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
     }
 
     /// Cutoff ≈ Exact: with the tolerance epsilon the truncated
@@ -547,24 +585,26 @@ proptest! {
         let view = ScriptView::new(vec![None; n], vec![None; n]);
         let run = |far_field| {
             let cfg = SinrConfig::for_unit_range(pts.clone(), 1.0).with_far_field(far_field);
-            both_kernels_with(
+            all_kernels_with(
                 |_| Talker { p_milli: 400, sent: 0, heard: Vec::new() },
                 &view, &g, seed, steps,
                 ReceptionMode::Sinr(cfg),
             )
         };
-        let [exact_sparse, exact_dense] = run(FarFieldPolicy::Exact);
+        let [exact_sparse, exact_dense, exact_event] = run(FarFieldPolicy::Exact);
         prop_assert_eq!(&exact_sparse, &exact_dense);
+        prop_assert_eq!(&exact_sparse, &exact_event);
         // A sub-nano epsilon pushes the cutoff radius beyond every pair
         // distance here, so the sparse run must equal Exact exactly.
-        let [tight, _] = run(FarFieldPolicy::Cutoff(1e-12));
+        let [tight, _, tight_event] = run(FarFieldPolicy::Cutoff(1e-12));
         prop_assert_eq!(&tight, &exact_sparse);
+        prop_assert_eq!(&tight_event, &tight);
         // A loose epsilon: one-sided — truncating interference can only
         // raise the computed SINR, so each flip converts a collision into
         // a delivery. Talkers transmit independently of what they hear,
         // so the per-step decodable set is identical and the
         // delivery+collision total is conserved exactly.
-        let [loose, _] = run(FarFieldPolicy::Cutoff(0.25));
+        let [loose, _, _] = run(FarFieldPolicy::Cutoff(0.25));
         prop_assert_eq!(loose.0.transmissions, exact_sparse.0.transmissions);
         prop_assert!(loose.0.deliveries >= exact_sparse.0.deliveries);
         prop_assert!(loose.0.collisions <= exact_sparse.0.collisions);
@@ -601,14 +641,45 @@ fn cd_jam_and_churn_agree() {
             (
                 rep1,
                 rep2,
-                *sim.stats(),
+                sim.stats().kernel_invariant(),
                 sim.rng_fingerprint(),
                 talkers.iter().map(|t| (t.sent, t.heard.clone())).collect::<Vec<_>>(),
                 ears.iter().map(|e| (e.heard, e.collisions)).collect::<Vec<_>>(),
             )
         };
-        assert_eq!(run(Kernel::Sparse), run(Kernel::Dense), "seed {seed}");
+        let sparse = run(Kernel::Sparse);
+        assert_eq!(sparse, run(Kernel::Dense), "seed {seed}");
+        assert_eq!(sparse, run(Kernel::Event), "seed {seed}");
     }
+}
+
+/// The event kernel must genuinely jump (not just match): slot beacons that
+/// sleep 25-step windows leave most of the clock silent, and the skip
+/// counter has to show it while every observable stays identical to sparse.
+#[test]
+fn event_kernel_actually_skips() {
+    let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    let info = NetInfo { n: 3, d: 2, alpha: 3.0 };
+    let run = |kernel| {
+        let mut sim = Sim::new(&g, info, 11);
+        sim.set_kernel(kernel);
+        let mut states: Vec<SlotBeacon> =
+            (0..3).map(|_| SlotBeacon { period: 25, horizon: 200, last: 0, txs: 0 }).collect();
+        let rep = sim.run_phase(&mut states, 300);
+        (rep, *sim.stats(), sim.rng_fingerprint())
+    };
+    let (rep_s, st_s, fp_s) = run(Kernel::Sparse);
+    let (rep_e, st_e, fp_e) = run(Kernel::Event);
+    assert_eq!(rep_s, rep_e);
+    assert_eq!(fp_s, fp_e);
+    assert_eq!(st_s.kernel_invariant(), st_e.kernel_invariant());
+    assert_eq!(st_s.scheduler_events, st_e.scheduler_events);
+    assert_eq!(st_s.silent_steps_skipped, 0, "sparse never skips");
+    assert!(
+        st_e.silent_steps_skipped > 100,
+        "beacons sleeping 25-step slots must skip most of the clock, skipped only {}",
+        st_e.silent_steps_skipped
+    );
 }
 
 /// A protocol whose hints lie (claims passivity but keeps drawing
@@ -640,4 +711,5 @@ fn comparison_is_not_vacuous() {
         (sim.rng_fingerprint(), states[0].drew + states[1].drew)
     };
     assert_ne!(run(Kernel::Sparse), run(Kernel::Dense), "a lying hint must be detectable");
+    assert_ne!(run(Kernel::Event), run(Kernel::Dense), "under the event kernel too");
 }

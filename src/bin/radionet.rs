@@ -60,7 +60,7 @@ RUN OPTIONS:
                       from the family's embedding — or the live moving
                       point set under mobility dynamics; custom SINR
                       physics go through --spec)    [default: protocol]
-  --kernel K          sparse | dense               [default: sparse]
+  --kernel K          sparse | dense | event       [default: sparse]
   --dynamics NAME     static | churn | partition-repair | jamming |
                       staggered-wake | mobility:waypoint | mobility:walk |
                       mobility:levy | mobility:group (standard presets;
@@ -95,7 +95,7 @@ SWEEP OPTIONS:
   --seeds K           repetitions per cell         [default: 1]
   --base-seed S       master seed                  [default: 0]
   --scenario NAME     restrict to a named scenario (repeatable)
-  --kernel K          sparse | dense               [default: sparse]
+  --kernel K          sparse | dense | event       [default: sparse]
   --format F          jsonl | json                 [default: jsonl]
   --sequential        one cell at a time (default: rayon chunks; the
                       output stream is byte-identical either way)
@@ -176,7 +176,8 @@ fn parse_kernel(name: &str) -> Result<Kernel, String> {
     match name {
         "sparse" => Ok(Kernel::Sparse),
         "dense" => Ok(Kernel::Dense),
-        other => Err(format!("unknown kernel {other:?}; sparse or dense")),
+        "event" => Ok(Kernel::Event),
+        other => Err(format!("unknown kernel {other:?}; sparse, dense or event")),
     }
 }
 
@@ -306,11 +307,12 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
         }
     };
     if report.stats.kernel_fallbacks > 0 {
-        // Never silent: the run asked for the sparse kernel but (some of)
-        // its phases executed the dense reference.
+        // Never silent: the run asked for the sparse or event kernel but
+        // (some of) its phases executed a slower one.
         eprintln!(
-            "warning: {} phase(s) fell back to the dense kernel \
-             (the topology view has no change feed); see stats.kernel_fallbacks",
+            "warning: {} phase(s) fell back to a slower kernel \
+             (the topology view lacks a change feed or event-jump support); \
+             see stats.kernel_fallbacks",
             report.stats.kernel_fallbacks
         );
     }
@@ -394,8 +396,9 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     if tally.fallbacks > 0 {
         eprintln!(
-            "warning: {} phase(s) across {} cell(s) fell back to the dense kernel \
-             (topology views without a change feed); see stats.kernel_fallbacks",
+            "warning: {} phase(s) across {} cell(s) fell back to a slower kernel \
+             (topology views without a change feed or event-jump support); \
+             see stats.kernel_fallbacks",
             tally.fallbacks, tally.cells
         );
     }
