@@ -89,6 +89,28 @@ pub fn success_rate<'a>(
     Some(values.iter().filter(|v| **v == 1.0).count() as f64 / values.len() as f64)
 }
 
+/// The sum of `metric` over every row that carries it (counter
+/// aggregation — e.g. total `scheduler_events` or `cache_hit`s across a
+/// sweep), or `None` if no row carries it.
+///
+/// Counters are per-cell in sweep rows; summing them recovers the
+/// sweep-wide total a service's `stats` endpoint reports, which is how the
+/// two are cross-checked.
+pub fn metric_total<'a>(
+    rows: impl IntoIterator<Item = &'a RunRecord>,
+    metric: &str,
+) -> Option<f64> {
+    let mut seen = false;
+    let mut total = 0.0;
+    for row in rows {
+        if let Some(v) = row.metrics.get(metric) {
+            seen = true;
+            total += *v;
+        }
+    }
+    seen.then_some(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +150,18 @@ mod tests {
         let rows = vec![row("a", 1, 0.0, 1.0), row("a", 1, 0.0, 0.0)];
         assert_eq!(success_rate(&rows, "success"), Some(0.5));
         assert_eq!(success_rate(&rows, "nope"), None);
+    }
+
+    #[test]
+    fn totals_sum_only_rows_carrying_the_metric() {
+        let rows = vec![
+            row("a", 1, 5.0, 1.0),
+            row("a", 1, 7.5, 0.0),
+            RunRecord::new().param("scenario", "a"),
+        ];
+        assert_eq!(metric_total(&rows, "clock_total"), Some(12.5));
+        assert_eq!(metric_total(&rows, "success"), Some(1.0));
+        assert_eq!(metric_total(&rows, "cache_hit"), None);
     }
 
     #[test]

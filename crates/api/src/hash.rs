@@ -1,0 +1,187 @@
+//! Content addressing for [`RunSpec`](crate::RunSpec)s: a canonical byte
+//! form plus a stable 128-bit hash over it.
+//!
+//! Runs are pure functions of their spec, so a *stable* spec hash turns
+//! every result store into a content-addressed cache: identical traffic is
+//! served without re-simulating (see `radionet-service`). Stability is the
+//! whole contract — two spec documents that *mean* the same run must hash
+//! identically, and any semantic difference must change the hash. The
+//! canonical form achieves the first half:
+//!
+//! * **Field order is normalized.** JSON object keys are sorted, so a spec
+//!   parsed from a hand-written file with reordered fields (the stub serde
+//!   accepts any order) hashes like the struct's own serialization.
+//! * **`None` and absent unify.** `null`-valued object entries are dropped
+//!   recursively, matching the deserializer's rule that a missing key and
+//!   an explicit `null` both mean `None` — so a legacy spec without the
+//!   `journal` / `steps` keys hashes like a modern one carrying nulls.
+//! * **Rendering is fixed.** Compact JSON via the workspace serializer,
+//!   whose float formatting is shortest-round-trip (bit-exact).
+//!
+//! The hash itself is two independent FNV-1a-64 passes over the canonical
+//! bytes, concatenated to 128 bits — collision-resistant enough for a
+//! result cache keyed by trusted specs, cheap enough to hash on every
+//! request, with no new dependencies. `pinned_hashes` in the spec tests
+//! freezes concrete values so the key derivation can never silently drift.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis (the standard constant).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime (the standard constant).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis of the second, independent pass (the standard offset
+/// perturbed by the golden-ratio constant the workspace mixer uses).
+const FNV_OFFSET_HI: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// One FNV-1a 64-bit pass from an explicit offset basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A stable 128-bit content hash of a canonical spec (see the module docs
+/// for the canonicalization contract). Displays and serializes as 32 lower
+/// hex digits, so it can key JSONL stores and travel through the wire
+/// protocol as a plain string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpecHash {
+    /// High 64 bits (the perturbed-offset FNV pass).
+    pub hi: u64,
+    /// Low 64 bits (the standard-offset FNV pass).
+    pub lo: u64,
+}
+
+impl SpecHash {
+    /// Hashes a canonical byte string.
+    pub fn of_bytes(bytes: &[u8]) -> SpecHash {
+        SpecHash { hi: fnv1a64(bytes, FNV_OFFSET_HI), lo: fnv1a64(bytes, FNV_OFFSET) }
+    }
+
+    /// The 32-digit lower-hex rendering (what [`fmt::Display`] prints).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the [`SpecHash::to_hex`] form back.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending text when it is not exactly 32 hex digits.
+    pub fn from_hex(s: &str) -> Result<SpecHash, String> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("spec hash must be 32 hex digits, got {s:?}"));
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|e| e.to_string())?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|e| e.to_string())?;
+        Ok(SpecHash { hi, lo })
+    }
+}
+
+impl fmt::Display for SpecHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl Serialize for SpecHash {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_hex())
+    }
+}
+
+impl Deserialize for SpecHash {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => SpecHash::from_hex(s).map_err(DeError::msg),
+            other => Err(DeError::msg(format!("spec hash must be a string, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Rewrites a serialized tree into its canonical form: object keys sorted,
+/// `null`-valued object entries dropped, recursively. Array order is
+/// semantic (e.g. SINR position snapshots) and is preserved; array
+/// elements are canonicalized but `null` *elements* are kept.
+pub fn canonical_value(v: &Value) -> Value {
+    match v {
+        Value::Object(fields) => {
+            let mut out: Vec<(String, Value)> = fields
+                .iter()
+                .filter(|(_, val)| !matches!(val, Value::Null))
+                .map(|(k, val)| (k.clone(), canonical_value(val)))
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(canonical_value).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_passes_are_independent_and_pinned() {
+        // The empty input pins the offset bases themselves.
+        let empty = SpecHash::of_bytes(b"");
+        assert_eq!(empty.lo, FNV_OFFSET);
+        assert_eq!(empty.hi, FNV_OFFSET_HI);
+        // Classic FNV-1a 64 test vector: "a" → 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a64(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        let h = SpecHash::of_bytes(b"radionet");
+        assert_ne!(h.hi, h.lo, "the two passes must not collapse");
+        assert_ne!(h, SpecHash::of_bytes(b"radionet "), "content sensitivity");
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let h = SpecHash::of_bytes(b"spec");
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(SpecHash::from_hex(&hex).unwrap(), h);
+        assert_eq!(format!("{h}"), hex);
+        assert!(SpecHash::from_hex("abc").is_err());
+        assert!(SpecHash::from_hex(&"g".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn serde_round_trips_as_a_string() {
+        let h = SpecHash::of_bytes(b"wire");
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.starts_with('"') && json.ends_with('"'), "{json}");
+        let back: SpecHash = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn canonicalization_sorts_drops_nulls_and_keeps_arrays() {
+        let messy = Value::Object(vec![
+            ("zeta".into(), Value::U64(1)),
+            ("gone".into(), Value::Null),
+            (
+                "alpha".into(),
+                Value::Object(vec![
+                    ("b".into(), Value::Null),
+                    ("a".into(), Value::Array(vec![Value::Null, Value::U64(2)])),
+                ]),
+            ),
+        ]);
+        let canon = canonical_value(&messy);
+        let expect = Value::Object(vec![
+            (
+                "alpha".into(),
+                Value::Object(vec![("a".into(), Value::Array(vec![Value::Null, Value::U64(2)]))]),
+            ),
+            ("zeta".into(), Value::U64(1)),
+        ]);
+        assert_eq!(canon, expect);
+    }
+}

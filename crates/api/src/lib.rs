@@ -61,6 +61,7 @@
 pub mod driver;
 pub mod dynamics;
 pub mod events;
+pub mod hash;
 pub mod journal;
 pub mod registry;
 pub mod seeds;
@@ -71,6 +72,7 @@ pub mod tasks;
 pub mod topology;
 
 pub use driver::{Driver, RunError, RunReport};
+pub use hash::SpecHash;
 pub use journal::{replay, spec_of, ReplayOutcome};
 pub use registry::TaskRegistry;
 pub use sink::{JsonArraySink, JsonlSink, MemorySink, ResultSink};

@@ -4,6 +4,7 @@
 //! randomness derives from.
 
 use crate::events::{EventKind, ScenarioEvent};
+use crate::hash::{canonical_value, SpecHash};
 use crate::seeds::mix;
 use radionet_graph::families::Family;
 use radionet_graph::Graph;
@@ -404,6 +405,31 @@ impl RunSpec {
         self
     }
 
+    /// The canonical byte form this spec is content-addressed by: its
+    /// serialized tree with object keys sorted and `null` entries dropped
+    /// (recursively), rendered as compact JSON. Stable across JSON field
+    /// order and across the `None`-vs-absent serde forms — a legacy spec
+    /// document without the `steps`/`journal` keys canonicalizes
+    /// byte-identically to a modern one carrying explicit nulls — so the
+    /// result-cache key (see [`RunSpec::spec_hash`]) never depends on how
+    /// a spec happened to be written down. See [`crate::hash`] for the
+    /// full contract and `pinned_hashes` for the frozen values.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let canon = canonical_value(&serde::Serialize::to_value(self));
+        serde_json::to_string(&canon)
+            .expect("spec trees contain no non-finite numbers")
+            .into_bytes()
+    }
+
+    /// The stable 128-bit content hash of [`RunSpec::canonical_bytes`]:
+    /// the key under which a deterministic run's report may be cached and
+    /// served without re-simulating (`radionet-service`). Equal for specs
+    /// that denote the same run; different whenever any semantic field
+    /// differs.
+    pub fn spec_hash(&self) -> SpecHash {
+        SpecHash::of_bytes(&self.canonical_bytes())
+    }
+
     /// Structural validation that needs no registry: the family size
     /// floor, the mobility × family compatibility rule, and the
     /// SINR position-source × dynamics compatibility rules.
@@ -523,6 +549,60 @@ mod tests {
     fn validate_rejects_degenerate_specs() {
         assert!(RunSpec::new("broadcast", Family::Grid, 3).validate().is_err());
         assert!(RunSpec::new("broadcast", Family::Grid, 36).validate().is_ok());
+    }
+
+    /// Cache-key determinism guard: these exact values are what
+    /// [`RunSpec::canonical_bytes`] and [`RunSpec::spec_hash`] produce
+    /// today. If this test fails, every persisted result-cache entry keyed
+    /// by the old hashes silently stops matching — do not re-pin without
+    /// migrating or invalidating the stores.
+    #[test]
+    fn pinned_hashes() {
+        let spec = RunSpec::new("broadcast", Family::Grid, 36).with_seed(7);
+        let canon = String::from_utf8(spec.canonical_bytes()).unwrap();
+        assert_eq!(
+            canon,
+            "{\"dynamics\":\"Static\",\"family\":\"Grid\",\"kernel\":\"Sparse\",\
+             \"n\":36,\"reception\":\"Protocol\",\"seed\":7,\"task\":\"broadcast\"}"
+        );
+        assert_eq!(spec.spec_hash().to_hex(), "96dc64666f4b0a0b4e886febffda58b4");
+        // Any semantic difference must move the hash.
+        assert_ne!(spec.spec_hash(), spec.clone().with_seed(8).spec_hash());
+        assert_ne!(spec.spec_hash(), RunSpec::new("mis", Family::Grid, 36).spec_hash());
+        assert_ne!(spec.spec_hash(), RunSpec::new("broadcast", Family::Path, 36).spec_hash());
+        assert_ne!(
+            spec.spec_hash(),
+            spec.clone().with_kernel(radionet_sim::Kernel::Dense).spec_hash()
+        );
+        let stepped = RunSpec { steps: Some(100), ..spec };
+        assert_ne!(stepped.spec_hash(), stepped.clone().with_seed(8).spec_hash());
+    }
+
+    /// The canonical form is a property of the *document*, not of how it
+    /// was written down: reordering fields and spelling `None` as explicit
+    /// `null` (or omitting it) must not move the cache key.
+    #[test]
+    fn canonical_form_survives_document_reshaping() {
+        use crate::hash::canonical_value;
+        use serde::{Serialize, Value};
+        let spec = RunSpec::new("broadcast", Family::Grid, 36)
+            .with_seed(7)
+            .with_journal(JournalSpec::default());
+        let Value::Object(mut fields) = spec.to_value() else { panic!("specs are objects") };
+        // Reshape: reverse the field order and drop the null-valued
+        // `steps` entry (absent and null both mean `None`).
+        fields.reverse();
+        fields.retain(|(k, v)| !(k == "steps" && matches!(v, Value::Null)));
+        let doc = serde_json::to_string(&Value::Object(fields)).unwrap();
+        // Canonicalizing the reshaped document directly — without parsing
+        // it into a RunSpec first — reproduces the spec's own bytes.
+        let doc_value: Value = serde_json::from_str(&doc).unwrap();
+        let canon_doc = serde_json::to_string(&canonical_value(&doc_value)).unwrap();
+        assert_eq!(canon_doc.into_bytes(), spec.canonical_bytes());
+        // And the parsed spec agrees, of course.
+        let reparsed: RunSpec = serde_json::from_str(&doc).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.spec_hash(), spec.spec_hash());
     }
 
     #[test]

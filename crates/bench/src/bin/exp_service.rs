@@ -1,0 +1,5 @@
+//! E20 — radionetd serving: cache throughput and sharded determinism.
+
+fn main() {
+    radionet_bench::exp_main("E20");
+}

@@ -20,6 +20,7 @@
 //! | E17 | mobility: incremental index + time-resolved α/D | [`e17_mobility`] |
 //! | E18 | geometry-native SINR: sparse vs dense reception | [`e18_sinr`] |
 //! | E19 | event kernel: clock jumps over silent spans | [`e19_event`] |
+//! | E20 | radionetd serving: cache + sharded sweeps | [`e20_service`] |
 
 mod broadcast_exp;
 mod cluster_exp;
@@ -30,6 +31,7 @@ mod mobility_exp;
 mod models_exp;
 mod primitives_exp;
 mod scenarios_exp;
+mod service_exp;
 mod sinr_exp;
 mod throughput_exp;
 
@@ -42,6 +44,7 @@ pub use mobility_exp::{dwell_heavy_waypoint, e17_mobility, udg_geometry};
 pub use models_exp::e13_models;
 pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
 pub use scenarios_exp::e14_scenarios;
+pub use service_exp::e20_service;
 pub use sinr_exp::e18_sinr;
 pub use throughput_exp::e15_throughput;
 
@@ -107,6 +110,11 @@ pub const ALL: &[ExperimentDef] = &[
         id: "E19",
         claim: "event kernel: silent spans cost one clock jump, not one step each",
         run: e19_event,
+    },
+    ExperimentDef {
+        id: "E20",
+        claim: "radionetd serving: repeated specs hit the cache, shards merge byte-identically",
+        run: e20_service,
     },
 ];
 

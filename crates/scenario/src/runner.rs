@@ -118,8 +118,43 @@ pub struct CellResult {
     /// silent per-cell fallback would otherwise only be visible on
     /// single-run CLI output.
     pub fell_back: bool,
+    /// `Some(hit)` when the cell was served through a content-addressed
+    /// result cache (`radionet-service`): `true` means the report came
+    /// straight from the cache, `false` means it executed fresh and was
+    /// inserted. `None` for direct (uncached) runs — which is also what
+    /// pre-service recorded rows deserialize to.
+    pub cache_hit: Option<bool>,
     /// Engine counters.
     pub stats: SimStats,
+}
+
+/// Builds the sweep row a [`Driver`] report denotes for `cell`, tagging it
+/// with how it was served (`cache_hit`). Shared by the direct runner below
+/// and the service layer's cached cell runner, so the two row shapes can
+/// never drift apart.
+pub fn cell_result_from_report(
+    cell: &CellSpec,
+    report: &radionet_api::RunReport,
+    cache_hit: Option<bool>,
+) -> CellResult {
+    CellResult {
+        scenario: cell.scenario.name.clone(),
+        family: cell.scenario.family.name().to_string(),
+        workload: cell.scenario.workload.name().to_string(),
+        dynamics: cell.scenario.dynamics.name().to_string(),
+        n: report.n,
+        rep: cell.rep,
+        d: report.d,
+        alpha: report.alpha,
+        events: report.events,
+        success: report.success,
+        achieved: report.achieved,
+        clock_total: report.clock_total,
+        clock_done: report.clock_done,
+        fell_back: report.stats.kernel_fallbacks > 0,
+        cache_hit,
+        stats: report.stats,
+    }
 }
 
 /// The façade spec a cell denotes: same family, reception, dynamics, and
@@ -151,23 +186,7 @@ pub fn run_cell_kernel(spec: &CellSpec, kernel: Kernel) -> CellResult {
     let report = Driver::standard()
         .run(&spec_for_cell(spec, kernel))
         .expect("catalogue cells are valid specs");
-    CellResult {
-        scenario: spec.scenario.name.clone(),
-        family: spec.scenario.family.name().to_string(),
-        workload: spec.scenario.workload.name().to_string(),
-        dynamics: spec.scenario.dynamics.name().to_string(),
-        n: report.n,
-        rep: spec.rep,
-        d: report.d,
-        alpha: report.alpha,
-        events: report.events,
-        success: report.success,
-        achieved: report.achieved,
-        clock_total: report.clock_total,
-        clock_done: report.clock_done,
-        fell_back: report.stats.kernel_fallbacks > 0,
-        stats: report.stats,
-    }
+    cell_result_from_report(spec, &report, None)
 }
 
 /// The **frozen pre-façade implementation** of a cell, kept verbatim as the
@@ -232,6 +251,7 @@ pub fn run_cell_reference(spec: &CellSpec, kernel: Kernel) -> (CellResult, u64) 
         clock_total: sim.clock(),
         clock_done,
         fell_back: sim.stats().kernel_fallbacks > 0,
+        cache_hit: None,
         stats: *sim.stats(),
     };
     (result, sim.rng_fingerprint())
@@ -255,7 +275,7 @@ pub fn to_run_records(results: &[CellResult]) -> Vec<RunRecord> {
     results
         .iter()
         .map(|r| {
-            RunRecord::new()
+            let record = RunRecord::new()
                 .param("scenario", &r.scenario)
                 .param("family", &r.family)
                 .param("workload", &r.workload)
@@ -275,6 +295,16 @@ pub fn to_run_records(results: &[CellResult]) -> Vec<RunRecord> {
                 .metric("transmissions", r.stats.transmissions as f64)
                 .metric("deliveries", r.stats.deliveries as f64)
                 .metric("collisions", r.stats.collisions as f64)
+                .metric("scheduler_events", r.stats.scheduler_events as f64)
+                .metric("silent_steps_skipped", r.stats.silent_steps_skipped as f64);
+            // A cell served through a result cache carries its hit/miss as
+            // a 1/0 metric; direct runs omit it (the ingest aggregations
+            // skip rows without a metric), so a hit-rate summary over a
+            // service-served sweep counts exactly the served cells.
+            match r.cache_hit {
+                Some(hit) => record.metric("cache_hit", if hit { 1.0 } else { 0.0 }),
+                None => record,
+            }
         })
         .collect()
 }
@@ -393,5 +423,16 @@ mod tests {
         assert_eq!(record.runs[0].metrics["fell_back"], 0.0);
         assert_eq!(record.runs[0].metrics["kernel_fallbacks"], 0.0);
         assert!(!results[0].fell_back, "protocol-mode grid cells never fall back");
+        // Event-kernel telemetry makes service-served sweeps auditable:
+        // every row states how much scheduling work it really did.
+        assert!(record.runs[0].metrics.contains_key("scheduler_events"));
+        assert!(record.runs[0].metrics.contains_key("silent_steps_skipped"));
+        // Direct (uncached) runs carry no cache metric at all…
+        assert!(!record.runs[0].metrics.contains_key("cache_hit"));
+        // …while served cells surface their hit/miss as 1/0.
+        let mut served = results[0].clone();
+        served.cache_hit = Some(true);
+        let row = &to_record("ES", "served", &[served]).runs[0];
+        assert_eq!(row.metrics["cache_hit"], 1.0);
     }
 }

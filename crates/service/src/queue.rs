@@ -1,0 +1,445 @@
+//! The bounded job queue: backpressure, cancellation, and monotone job
+//! states over std `Mutex`/`Condvar` — no new dependencies.
+//!
+//! Producers [`submit`](JobQueue::submit) specs; beyond the capacity
+//! high-water mark submission fails fast with
+//! [`SubmitError::QueueFull`] instead of buffering unboundedly (the
+//! client retries or sheds load — the service never falls over from queue
+//! growth). Workers [`take`](JobQueue::take) jobs (blocking) or
+//! [`try_take`](JobQueue::try_take) them (non-blocking, what the
+//! deterministic property tests drive), run them, and
+//! [`complete`](JobQueue::complete) them.
+//!
+//! **State machine.** `Queued → Running → Done | Failed`, plus
+//! `Queued → Cancelled`. Transitions are checked at the single mutation
+//! point (the private `Inner::transition`), so an illegal move (e.g. completing a
+//! cancelled job, cancelling a running one) is impossible by construction
+//! — the queue-semantics proptest then verifies the *observable* story:
+//! states only ever move forward, and every accepted job reaches a
+//! terminal state once workers drain the queue.
+
+use radionet_api::{RunReport, RunSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Identifies one submitted job (monotone per queue, starting at 1).
+pub type JobId = u64;
+
+/// The lifecycle state of a job. Ordered: a job's state only ever moves to
+/// a strictly larger [`JobState::rank`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished with a report.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled while still queued (running jobs cannot be cancelled —
+    /// the engine has no preemption point, and a deterministic run is
+    /// cheap enough to let finish).
+    Cancelled,
+}
+
+impl JobState {
+    /// Monotonicity rank: legal transitions strictly increase it.
+    pub fn rank(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done | JobState::Failed | JobState::Cancelled => 2,
+        }
+    }
+
+    /// Whether the job will never change state again.
+    pub fn is_terminal(self) -> bool {
+        self.rank() == 2
+    }
+
+    /// The wire name (`queued`, `running`, `done`, `failed`, `cancelled`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its high-water mark; retry later or shed load.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The queue is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs pending); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// An observable snapshot of one job (what `status`/`result` return).
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// The job's id.
+    pub id: JobId,
+    /// Its state at snapshot time.
+    pub state: JobState,
+    /// The report, once `Done`.
+    pub report: Option<RunReport>,
+    /// Whether the result came from the cache, once `Done`.
+    pub cache_hit: Option<bool>,
+    /// The failure message, once `Failed`.
+    pub error: Option<String>,
+    /// Microseconds spent waiting in the queue (final once running).
+    pub queued_micros: u64,
+    /// Microseconds spent executing (final once terminal; 0 while queued).
+    pub run_micros: u64,
+}
+
+/// One job's full record.
+struct Job {
+    spec: RunSpec,
+    state: JobState,
+    report: Option<RunReport>,
+    cache_hit: Option<bool>,
+    error: Option<String>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+struct Inner {
+    next_id: JobId,
+    /// Accepted-but-untaken ids in FIFO order; cancelled ids are lazily
+    /// skipped at take time (cancellation does not reshuffle the deque).
+    pending: VecDeque<JobId>,
+    jobs: HashMap<JobId, Job>,
+    shutdown: bool,
+}
+
+impl Inner {
+    /// The single mutation point for job states: checks monotonicity and
+    /// stamps timing.
+    fn transition(&mut self, id: JobId, to: JobState) {
+        let job = self.jobs.get_mut(&id).expect("transition of unknown job");
+        assert!(to.rank() > job.state.rank(), "illegal job transition {:?} → {to:?}", job.state);
+        match to {
+            JobState::Running => job.started = Some(Instant::now()),
+            JobState::Done | JobState::Failed | JobState::Cancelled => {
+                job.finished = Some(Instant::now());
+            }
+            JobState::Queued => unreachable!("rank check rejects moves back to Queued"),
+        }
+        job.state = to;
+    }
+}
+
+/// The bounded MPMC job queue (see the module docs).
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when `pending` gains work or shutdown begins.
+    ready: Condvar,
+    /// Signalled when any job reaches a terminal state.
+    settled: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue rejecting submissions beyond `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                pending: VecDeque::new(),
+                jobs: HashMap::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            settled: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured high-water mark.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accepts a job, or rejects it when the backlog is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at the high-water mark,
+    /// [`SubmitError::ShuttingDown`] after [`JobQueue::shutdown`].
+    pub fn submit(&self, spec: RunSpec) -> Result<JobId, SubmitError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        // Count only live pending entries: lazily-skipped cancellations
+        // must not eat capacity, or backpressure would lie.
+        let backlog =
+            inner.pending.iter().filter(|id| inner.jobs[id].state == JobState::Queued).count();
+        if backlog >= self.capacity {
+            return Err(SubmitError::QueueFull { capacity: self.capacity });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            Job {
+                spec,
+                state: JobState::Queued,
+                report: None,
+                cache_hit: None,
+                error: None,
+                submitted: Instant::now(),
+                started: None,
+                finished: None,
+            },
+        );
+        inner.pending.push_back(id);
+        self.ready.notify_one();
+        Ok(id)
+    }
+
+    /// Cancels a job iff it is still queued; returns whether it did.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        match inner.jobs.get(&id) {
+            Some(job) if job.state == JobState::Queued => {
+                inner.transition(id, JobState::Cancelled);
+                self.settled.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocking worker intake: waits for a queued job, marks it running,
+    /// and returns it. `None` once the queue shuts down and drains.
+    pub fn take(&self) -> Option<(JobId, RunSpec)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(found) = Self::pop_queued(&mut inner) {
+                return Some(found);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking intake (the property tests' deterministic worker
+    /// step): like [`JobQueue::take`] but `None` when nothing is queued.
+    pub fn try_take(&self) -> Option<(JobId, RunSpec)> {
+        Self::pop_queued(&mut self.inner.lock().expect("queue poisoned"))
+    }
+
+    /// Pops the first still-queued pending id and marks it running.
+    fn pop_queued(inner: &mut Inner) -> Option<(JobId, RunSpec)> {
+        while let Some(id) = inner.pending.pop_front() {
+            if inner.jobs[&id].state == JobState::Queued {
+                inner.transition(id, JobState::Running);
+                let spec = inner.jobs[&id].spec.clone();
+                return Some((id, spec));
+            }
+            // Cancelled while pending: drop the stale deque entry.
+        }
+        None
+    }
+
+    /// Worker hand-back: a running job finished with a served report
+    /// (`Ok(report, cache_hit)`) or an error message.
+    pub fn complete(&self, id: JobId, outcome: Result<(RunReport, bool), String>) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        match outcome {
+            Ok((report, cache_hit)) => {
+                inner.transition(id, JobState::Done);
+                let job = inner.jobs.get_mut(&id).expect("transition checked existence");
+                job.report = Some(report);
+                job.cache_hit = Some(cache_hit);
+            }
+            Err(message) => {
+                inner.transition(id, JobState::Failed);
+                inner.jobs.get_mut(&id).expect("transition checked existence").error =
+                    Some(message);
+            }
+        }
+        self.settled.notify_all();
+    }
+
+    /// A snapshot of one job, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobSnapshot> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        inner.jobs.get(&id).map(|job| snapshot(id, job))
+    }
+
+    /// Blocks until the job reaches a terminal state, then snapshots it.
+    /// `None` for an unknown id.
+    pub fn wait_terminal(&self, id: JobId) -> Option<JobSnapshot> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            match inner.jobs.get(&id) {
+                None => return None,
+                Some(job) if job.state.is_terminal() => return Some(snapshot(id, job)),
+                Some(_) => inner = self.settled.wait(inner).expect("queue poisoned"),
+            }
+        }
+    }
+
+    /// Jobs accepted so far, by terminality: `(live, terminal)`.
+    pub fn counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let terminal = inner.jobs.values().filter(|j| j.state.is_terminal()).count() as u64;
+        (inner.jobs.len() as u64 - terminal, terminal)
+    }
+
+    /// Stops intake and wakes every blocked worker; pending jobs already
+    /// accepted still drain.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("queue poisoned").shutdown = true;
+        self.ready.notify_all();
+        self.settled.notify_all();
+    }
+}
+
+/// Builds the observable snapshot of a job record.
+fn snapshot(id: JobId, job: &Job) -> JobSnapshot {
+    let queued_end = job.started.or(job.finished);
+    let queued_micros = match queued_end {
+        Some(t) => t.duration_since(job.submitted).as_micros() as u64,
+        None => job.submitted.elapsed().as_micros() as u64,
+    };
+    let run_micros = match (job.started, job.finished) {
+        (Some(s), Some(f)) => f.duration_since(s).as_micros() as u64,
+        (Some(s), None) => s.elapsed().as_micros() as u64,
+        _ => 0,
+    };
+    JobSnapshot {
+        id,
+        state: job.state,
+        report: job.report.clone(),
+        cache_hit: job.cache_hit,
+        error: job.error.clone(),
+        queued_micros,
+        run_micros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radionet_graph::families::Family;
+
+    fn spec(seed: u64) -> RunSpec {
+        RunSpec::new("luby-mis", Family::Path, 8).with_seed(seed)
+    }
+
+    fn report(seed: u64) -> RunReport {
+        radionet_api::Driver::standard().run(&spec(seed)).unwrap()
+    }
+
+    #[test]
+    fn lifecycle_and_timing() {
+        let q = JobQueue::new(4);
+        let id = q.submit(spec(1)).unwrap();
+        assert_eq!(q.status(id).unwrap().state, JobState::Queued);
+        let (taken, s) = q.try_take().unwrap();
+        assert_eq!((taken, &s), (id, &spec(1)));
+        assert_eq!(q.status(id).unwrap().state, JobState::Running);
+        q.complete(id, Ok((report(1), false)));
+        let snap = q.status(id).unwrap();
+        assert_eq!(snap.state, JobState::Done);
+        assert!(snap.report.is_some());
+        assert_eq!(snap.cache_hit, Some(false));
+        assert_eq!(q.counts(), (0, 1));
+    }
+
+    #[test]
+    fn backpressure_is_a_clean_rejection() {
+        let q = JobQueue::new(2);
+        q.submit(spec(1)).unwrap();
+        q.submit(spec(2)).unwrap();
+        let err = q.submit(spec(3)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+        // Cancelling a pending job frees its slot immediately.
+        let id = q.submit_front_cancel();
+        assert!(q.submit(spec(4)).is_ok(), "cancelled job {id} must not eat capacity");
+    }
+
+    impl JobQueue {
+        /// Test helper: cancel the oldest pending job, returning its id.
+        fn submit_front_cancel(&self) -> JobId {
+            let id = *self.inner.lock().unwrap().pending.front().unwrap();
+            assert!(self.cancel(id));
+            id
+        }
+    }
+
+    #[test]
+    fn cancellation_only_while_queued() {
+        let q = JobQueue::new(4);
+        let id = q.submit(spec(1)).unwrap();
+        let (taken, _) = q.try_take().unwrap();
+        assert_eq!(taken, id);
+        assert!(!q.cancel(id), "running jobs cannot be cancelled");
+        q.complete(id, Err("boom".into()));
+        assert!(!q.cancel(id), "terminal jobs cannot be cancelled");
+        let snap = q.status(id).unwrap();
+        assert_eq!(snap.state, JobState::Failed);
+        assert_eq!(snap.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn cancelled_jobs_never_reach_workers() {
+        let q = JobQueue::new(8);
+        let a = q.submit(spec(1)).unwrap();
+        let b = q.submit(spec(2)).unwrap();
+        assert!(q.cancel(a));
+        let (taken, _) = q.try_take().unwrap();
+        assert_eq!(taken, b, "the cancelled head is skipped");
+        assert!(q.try_take().is_none());
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_submit_and_shutdown() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let worker = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut served = 0;
+                while let Some((id, _)) = q.take() {
+                    q.complete(id, Err("drained".into()));
+                    served += 1;
+                }
+                served
+            })
+        };
+        let id = q.submit(spec(1)).unwrap();
+        assert_eq!(q.wait_terminal(id).unwrap().state, JobState::Failed);
+        q.shutdown();
+        assert_eq!(worker.join().unwrap(), 1);
+        assert_eq!(q.submit(spec(2)).unwrap_err(), SubmitError::ShuttingDown);
+    }
+}

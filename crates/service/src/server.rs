@@ -1,0 +1,333 @@
+//! `radionetd` itself: the accept loop, the connection handlers, and the
+//! worker pool, wired around the cache and the queue.
+//!
+//! Thread shape (all std, no async runtime):
+//!
+//! ```text
+//! client ──TCP──▶ accept loop ──▶ connection thread (one per client)
+//!                                      │  submit/status/result/stats
+//!                                      ▼
+//!                                 JobQueue (bounded, backpressured)
+//!                                      │
+//!                                      ▼
+//!                              worker pool (N threads)
+//!                                      │
+//!                                      ▼
+//!                               ResultCache ──miss──▶ Driver::run
+//! ```
+//!
+//! `sweep` requests short-circuit the queue: the connection thread peeks
+//! every cell in the cache, runs only the misses through the sharded
+//! coordinator, re-inserts them, and answers with the merged in-order
+//! stream — so a repeated sweep is almost entirely cache traffic.
+//!
+//! Shutdown is cooperative: the `shutdown` command (or
+//! [`ServiceHandle::request_shutdown`]) stops intake, wakes blocked
+//! workers, lets accepted jobs drain, and unblocks the accept loop with a
+//! loopback connection to itself; [`ServiceHandle::join`] then reaps the
+//! threads.
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::protocol::{Request, Response, ServiceStats};
+use crate::queue::{JobQueue, JobSnapshot, SubmitError};
+use crate::shard::{run_sweep_sharded, ShardMode};
+use radionet_api::{Driver, MemorySink, RunSpec};
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address. Port 0 picks a free port — read it back from
+    /// [`ServiceHandle::addr`].
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Queue high-water mark (submissions beyond it are rejected).
+    pub queue_capacity: usize,
+    /// Result-cache configuration.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Everything the threads share.
+struct Shared {
+    driver: Driver,
+    cache: ResultCache,
+    queue: JobQueue,
+    rejected: AtomicU64,
+    connections: AtomicU64,
+    stopping: AtomicBool,
+    workers: u64,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Stops intake and wakes everything that could be blocked.
+    fn begin_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        self.queue.shutdown();
+        // The accept loop blocks in `accept()`; a throwaway loopback
+        // connection delivers the wake-up.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let (live, terminal) = self.queue.counts();
+        ServiceStats {
+            cache: self.cache.stats(),
+            jobs_live: live,
+            jobs_terminal: terminal,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            workers: self.workers,
+        }
+    }
+}
+
+/// The service constructor (all the state lives in [`ServiceHandle`]).
+pub struct Service;
+
+impl Service {
+    /// Binds, spawns the worker pool and the accept loop, and returns the
+    /// running service's handle.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures and persistent-cache open failures.
+    pub fn start(config: ServiceConfig) -> io::Result<ServiceHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            driver: Driver::standard(),
+            cache: ResultCache::open(config.cache)?,
+            queue: JobQueue::new(config.queue_capacity),
+            rejected: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            workers: workers as u64,
+            addr,
+        });
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(ServiceHandle { shared, accept: Some(accept), workers: worker_handles })
+    }
+}
+
+/// A running service: its address, its stats, and its shutdown.
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Initiates shutdown without waiting (idempotent; a client's
+    /// `shutdown` command does the same thing from inside).
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the service shuts down — a client's `shutdown`
+    /// command or [`ServiceHandle::request_shutdown`] — then joins the
+    /// accept loop and the worker pool. Accepted jobs drain first. This
+    /// never *initiates* shutdown: a foreground daemon parks here until a
+    /// client asks it to stop.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One worker thread: drain the queue through the cache until shutdown.
+fn worker_loop(shared: &Shared) {
+    while let Some((id, spec)) = shared.queue.take() {
+        let outcome = match shared.cache.serve(&shared.driver, &spec) {
+            Ok(served) => Ok((served.report, served.hit)),
+            Err(e) => Err(e.to_string()),
+        };
+        shared.queue.complete(id, outcome);
+    }
+}
+
+/// The accept loop: one connection thread per client until shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            let _ = serve_connection(&shared, stream);
+        });
+    }
+}
+
+/// One client session: request lines in, response lines out, until EOF or
+/// a `shutdown` command.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    let reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => dispatch(shared, request),
+            Err(e) => (Response::err(format!("unparseable request: {e}")), false),
+        };
+        let encoded = serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encode: {e}\"}}"));
+        writer.write_all(encoded.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            shared.begin_shutdown();
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one request; the bool asks the session loop to begin
+/// shutdown after the response is flushed.
+fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
+    match request.cmd.as_str() {
+        "submit" => (handle_submit(shared, request), false),
+        "status" => (handle_status(shared, request, false), false),
+        "result" => (handle_status(shared, request, true), false),
+        "sweep" => (handle_sweep(shared, request), false),
+        "stats" => (Response { stats: Some(shared.stats()), ..Response::ok() }, false),
+        "shutdown" => (Response::ok(), true),
+        other => (
+            Response::err(format!(
+                "unknown cmd {other:?}; submit, status, result, sweep, stats, or shutdown"
+            )),
+            false,
+        ),
+    }
+}
+
+fn handle_submit(shared: &Shared, request: Request) -> Response {
+    let Some(spec) = request.spec else {
+        return Response::err("submit needs a \"spec\"");
+    };
+    match shared.queue.submit(spec) {
+        Ok(id) => {
+            if request.wait.unwrap_or(false) {
+                let snap = shared.queue.wait_terminal(id).expect("job just submitted");
+                snapshot_response(snap, true)
+            } else {
+                Response { id: Some(id), state: Some("queued".into()), ..Response::ok() }
+            }
+        }
+        Err(e) => {
+            if matches!(e, SubmitError::QueueFull { .. }) {
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::err(e.to_string())
+        }
+    }
+}
+
+fn handle_status(shared: &Shared, request: Request, with_report: bool) -> Response {
+    let Some(id) = request.id else {
+        return Response::err("status/result need an \"id\"");
+    };
+    match shared.queue.status(id) {
+        Some(snap) => snapshot_response(snap, with_report),
+        None => Response::err(format!("unknown job id {id}")),
+    }
+}
+
+/// Renders a job snapshot as a response; `result`-style responses carry
+/// the report, `status`-style ones only the state and timing.
+fn snapshot_response(snap: JobSnapshot, with_report: bool) -> Response {
+    Response {
+        id: Some(snap.id),
+        state: Some(snap.state.name().into()),
+        error: snap.error,
+        cache_hit: snap.cache_hit,
+        report: if with_report { snap.report } else { None },
+        queued_micros: Some(snap.queued_micros),
+        run_micros: Some(snap.run_micros),
+        ..Response::ok()
+    }
+}
+
+/// `sweep`: cache-peek every cell, run only the misses through the
+/// sharded coordinator, merge, re-insert, and answer in request order.
+fn handle_sweep(shared: &Shared, request: Request) -> Response {
+    let Some(specs) = request.specs else {
+        return Response::err("sweep needs \"specs\"");
+    };
+    let shards = request.shards.unwrap_or(1);
+    let mut reports: Vec<Option<radionet_api::RunReport>> =
+        specs.iter().map(|s| shared.cache.lookup(s)).collect();
+    let misses: Vec<(usize, RunSpec)> = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| reports[*i].is_none())
+        .map(|(i, s)| (i, s.clone()))
+        .collect();
+    let cache_hits: Vec<bool> = reports.iter().map(Option::is_some).collect();
+    if !misses.is_empty() {
+        let miss_specs: Vec<RunSpec> = misses.iter().map(|(_, s)| s.clone()).collect();
+        let mut sink = MemorySink::default();
+        if let Err(e) =
+            run_sweep_sharded(&shared.driver, &miss_specs, shards, &ShardMode::InProcess, &mut sink)
+        {
+            return Response::err(e.to_string());
+        }
+        for ((i, _), report) in misses.iter().zip(sink.reports) {
+            if let Err(e) = shared.cache.insert(&report) {
+                return Response::err(e.to_string());
+            }
+            reports[*i] = Some(report);
+        }
+    }
+    let reports: Vec<radionet_api::RunReport> =
+        reports.into_iter().map(|r| r.expect("every cell hit or ran")).collect();
+    Response { reports: Some(reports), cache_hits: Some(cache_hits), ..Response::ok() }
+}

@@ -24,6 +24,7 @@ use radionet::graph::families::Family;
 use radionet::journal::{bisect, ClassMask, EventKind, Journal};
 use radionet::scenario::runner::{spec_for_cell, SweepConfig};
 use radionet::scenario::Scenario;
+use radionet::service::{cli as service_cli, run_sweep_sharded, ShardMode};
 use radionet::sim::{Kernel, ReceptionMode, SinrConfig};
 use serde::Serialize;
 use std::io::Write;
@@ -43,6 +44,11 @@ USAGE:
   radionet bisect LEFT RIGHT     first divergent event between two recorded journals
   radionet list-tasks [--json]   list the task registry
   radionet catalogue [--cells]   print the named scenario catalogue as JSON
+  radionet serve [OPTIONS]       run the radionetd service in the foreground
+  radionet submit [OPTIONS]      submit one spec to a running service
+  radionet status --id N         query a submitted job's state
+  radionet fetch --id N          fetch a finished job (add --report-only for raw bytes)
+  radionet call [--addr A]       raw NDJSON protocol passthrough (stdin -> stdout)
   radionet help                  this text
 
 RUN OPTIONS:
@@ -100,7 +106,15 @@ SWEEP OPTIONS:
   --sequential        one cell at a time (default: rayon chunks; the
                       output stream is byte-identical either way)
   --chunk N           parallel chunk size          [default: 64]
+  --shards N          route the sweep through the sharded coordinator with N
+                      deterministic shards (output stays byte-identical)
+  --shard-exec PATH   shard via spawned `PATH --worker` subprocesses instead
+                      of in-process threads (implies the sharded path)
   --out FILE          write to FILE instead of stdout
+
+SERVICE COMMANDS:
+  serve / submit / status / fetch / call speak the radionetd NDJSON protocol
+  and accept --addr (default 127.0.0.1:7177); see `radionetd --help`.
 ";
 
 fn main() -> ExitCode {
@@ -119,6 +133,11 @@ fn main() -> ExitCode {
         "bisect" => cmd_bisect(rest),
         "list-tasks" => cmd_list_tasks(rest).map(|()| ExitCode::SUCCESS),
         "catalogue" => cmd_catalogue(rest).map(|()| ExitCode::SUCCESS),
+        "serve" => service_cli::serve_cmd(rest).map(|()| ExitCode::SUCCESS),
+        "submit" => service_cli::submit_cmd(rest).map(|()| ExitCode::SUCCESS),
+        "status" => service_cli::status_cmd(rest, false).map(|()| ExitCode::SUCCESS),
+        "fetch" => service_cli::status_cmd(rest, true).map(|()| ExitCode::SUCCESS),
+        "call" => service_cli::call_cmd(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -331,6 +350,8 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     let mut format = "jsonl".to_string();
     let mut sequential = false;
     let mut chunk = 64usize;
+    let mut shards = 1usize;
+    let mut shard_exec: Option<String> = None;
     let mut out: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
@@ -342,6 +363,8 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
             "--format" => format = args.value(flag)?.to_string(),
             "--sequential" => sequential = true,
             "--chunk" => chunk = parse(flag, args.value(flag)?)?,
+            "--shards" => shards = parse(flag, args.value(flag)?)?,
+            "--shard-exec" => shard_exec = Some(args.value(flag)?.to_string()),
             "--out" => out = Some(args.value(flag)?.to_string()),
             other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
         }
@@ -386,14 +409,27 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         "json" => Box::new(JsonArraySink::new(w)),
         other => return Err(format!("unknown format {other:?}; jsonl or json")),
     };
-    // Cells are generated lazily and specs exist only chunk-at-a-time, so
-    // the sweep's memory footprint is O(chunk) regardless of its size.
-    let specs = config.cells_iter().map(|cell| spec_for_cell(&cell, kernel));
     let driver = Driver::standard();
     let mut tally = FallbackTally { inner: sink.as_mut(), fallbacks: 0, cells: 0 };
-    let emitted = driver
-        .run_sweep_streaming(specs, if sequential { 1 } else { chunk }, &mut tally)
-        .map_err(|e| e.to_string())?;
+    let emitted = if shards > 1 || shard_exec.is_some() {
+        // The sharded coordinator partitions by cell position, so it needs
+        // the whole spec list up front (O(cells) memory — the trade for
+        // multi-worker execution); the merged stream stays byte-identical.
+        let specs: Vec<RunSpec> =
+            config.cells_iter().map(|cell| spec_for_cell(&cell, kernel)).collect();
+        let mode = match shard_exec {
+            Some(exe) => ShardMode::Subprocess { exe: exe.into() },
+            None => ShardMode::InProcess,
+        };
+        run_sweep_sharded(&driver, &specs, shards, &mode, &mut tally).map_err(|e| e.to_string())?
+    } else {
+        // Cells are generated lazily and specs exist only chunk-at-a-time,
+        // so the sweep's memory footprint is O(chunk) regardless of size.
+        let specs = config.cells_iter().map(|cell| spec_for_cell(&cell, kernel));
+        driver
+            .run_sweep_streaming(specs, if sequential { 1 } else { chunk }, &mut tally)
+            .map_err(|e| e.to_string())?
+    };
     if tally.fallbacks > 0 {
         eprintln!(
             "warning: {} phase(s) across {} cell(s) fell back to a slower kernel \

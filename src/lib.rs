@@ -26,4 +26,5 @@ pub use radionet_journal as journal;
 pub use radionet_mobility as mobility;
 pub use radionet_primitives as primitives;
 pub use radionet_scenario as scenario;
+pub use radionet_service as service;
 pub use radionet_sim as sim;
