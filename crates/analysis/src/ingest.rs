@@ -165,6 +165,30 @@ mod tests {
     }
 
     #[test]
+    fn totals_distinguish_absent_from_zero_across_heterogeneous_rows() {
+        // A partly cache-served sweep produces heterogeneous rows: served
+        // cells carry `cache_hit`, direct cells omit it entirely. The
+        // total must count exactly the rows carrying the metric — and a
+        // metric that is present but zero is `Some(0.0)`, never conflated
+        // with "no row carries it".
+        let rows = vec![
+            row("a", 1, 5.0, 1.0).metric("cache_hit", 1.0),
+            row("a", 1, 6.0, 1.0).metric("cache_hit", 0.0),
+            row("a", 1, 7.0, 0.0), // direct run: no cache metric at all
+        ];
+        assert_eq!(metric_total(&rows, "cache_hit"), Some(1.0));
+        assert_eq!(metric_total(&rows, "kernel_fallbacks"), None);
+        let zeroed = vec![row("z", 1, 0.0, 0.0)];
+        assert_eq!(metric_total(&zeroed, "clock_total"), Some(0.0));
+        let empty: Vec<RunRecord> = Vec::new();
+        assert_eq!(metric_total(&empty, "clock_total"), None);
+        // The sibling aggregations skip the same rows, so all three
+        // describe the same population of served cells.
+        assert_eq!(success_rate(&rows, "cache_hit"), Some(0.5));
+        assert_eq!(group_summaries(&rows, &["scenario"], "cache_hit")[0].1.count, 2);
+    }
+
+    #[test]
     fn drift_summarizes_endpoints_and_envelope() {
         assert_eq!(drift(&[]), None);
         let d = drift(&[4.0, 9.0, 2.0, 6.0]).unwrap();

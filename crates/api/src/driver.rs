@@ -11,7 +11,11 @@ use crate::topology::RunTopology;
 use radionet_graph::Graph;
 use radionet_journal::{Journal, JournalSummary, Recorder};
 use radionet_mobility::{MobileTopology, MobilityTrace};
-use radionet_sim::{JournalSink, NetInfo, PositionSource, ReceptionMode, Sim, SimStats};
+use radionet_sim::{
+    JournalSink, NetInfo, NullSink, PositionSource, ReceptionMode, Registry, Sim, SimStats,
+    Telemetry,
+};
+use radionet_telemetry::Stopwatch;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -97,14 +101,15 @@ struct Materialized<'d> {
     ctx: TaskCtx,
 }
 
-/// Assembles the [`RunReport`] both driver entry points share. Generic
-/// over the sink so the journaled path reads the same accessors.
-fn assemble_report<J: JournalSink>(
+/// Assembles the [`RunReport`] all driver entry points share. Generic
+/// over the sink and telemetry handle so the journaled and instrumented
+/// paths read the same accessors.
+fn assemble_report<J: JournalSink, M: Telemetry>(
     spec: &RunSpec,
     g: &Graph,
     info: NetInfo,
     n_events: usize,
-    sim: &Sim<'_, RunTopology, J>,
+    sim: &Sim<'_, RunTopology, J, M>,
     outcome: TaskOutcome,
     journal: Option<JournalSummary>,
 ) -> RunReport {
@@ -148,17 +153,35 @@ fn assemble_report<J: JournalSink>(
 #[derive(Default)]
 pub struct Driver {
     registry: TaskRegistry,
+    /// Attached telemetry. A process-level property, never part of the
+    /// [`RunSpec`]: cache keys, echoed specs, and reports are identical
+    /// with or without it (the `telemetry_equivalence` test pins this).
+    tel: Option<Registry>,
 }
 
 impl Driver {
     /// A driver over [`TaskRegistry::standard`].
     pub fn standard() -> Self {
-        Driver { registry: TaskRegistry::standard() }
+        Driver { registry: TaskRegistry::standard(), tel: None }
     }
 
     /// A driver over a custom registry.
     pub fn with_registry(registry: TaskRegistry) -> Self {
-        Driver { registry }
+        Driver { registry, tel: None }
+    }
+
+    /// Attaches a telemetry registry: every subsequent [`Driver::run`]
+    /// records wall-clock stage timings (setup / simulate / report) and
+    /// the engine's kernel metrics into it. Telemetry observes and never
+    /// steers — reports and RNG streams stay byte-identical.
+    pub fn with_telemetry(mut self, tel: Registry) -> Self {
+        self.tel = Some(tel);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.tel.as_ref()
     }
 
     /// The registry this driver resolves task keys against.
@@ -174,6 +197,16 @@ impl Driver {
     /// ignored here — plain runs always execute on the zero-cost null
     /// sink; use [`Driver::run_journaled`] to record.
     pub fn run(&self, spec: &RunSpec) -> Result<RunReport, RunError> {
+        match &self.tel {
+            None => self.run_plain(spec),
+            Some(tel) => self.run_timed(spec, tel),
+        }
+    }
+
+    /// The uninstrumented hot path: `Sim` monomorphizes over
+    /// [`NoTelemetry`](radionet_sim::NoTelemetry), so every metrics site
+    /// compiles out (the E21 bench smoke pins the overhead at zero).
+    fn run_plain(&self, spec: &RunSpec) -> Result<RunReport, RunError> {
         let m = self.materialize(spec)?;
         let mut sim =
             Sim::try_with_topology(&m.g, m.topo, m.info, seeds::sim_seed(spec.seed), m.reception)
@@ -181,6 +214,37 @@ impl Driver {
         sim.set_kernel(spec.kernel);
         let outcome = m.task.run(&mut sim, &m.ctx);
         Ok(assemble_report(spec, &m.g, m.info, m.n_events, &sim, outcome, None))
+    }
+
+    /// The instrumented path: identical pipeline, with the run split into
+    /// setup (materialization + simulator construction), simulate, and
+    /// report stages, each timed into `tel`; the simulator itself records
+    /// the kernel-level metrics through its telemetry handle.
+    fn run_timed(&self, spec: &RunSpec, tel: &Registry) -> Result<RunReport, RunError> {
+        let total = Stopwatch::start::<Registry>();
+        let setup = Stopwatch::start::<Registry>();
+        let m = self.materialize(spec)?;
+        let mut sim = Sim::try_instrumented(
+            &m.g,
+            m.topo,
+            m.info,
+            seeds::sim_seed(spec.seed),
+            m.reception,
+            NullSink,
+            tel.clone(),
+        )
+        .map_err(|e| RunError::InvalidSpec(e.to_string()))?;
+        sim.set_kernel(spec.kernel);
+        setup.stop(tel, "driver_setup_micros");
+        let simulate = Stopwatch::start::<Registry>();
+        let outcome = m.task.run_instrumented(&mut sim, &m.ctx);
+        simulate.stop(tel, "driver_simulate_micros");
+        let assemble = Stopwatch::start::<Registry>();
+        let report = assemble_report(spec, &m.g, m.info, m.n_events, &sim, outcome, None);
+        assemble.stop(tel, "driver_report_micros");
+        total.stop(tel, "driver_run_micros");
+        tel.count("driver_runs", 1);
+        Ok(report)
     }
 
     /// Runs one spec with a live [`Recorder`], returning the report (its
@@ -405,8 +469,13 @@ impl Driver {
                 if block.is_empty() {
                     break 'sweep Ok(());
                 }
+                let chunk_t0 = self.tel.as_ref().map(|_| std::time::Instant::now());
                 let reports: Vec<Result<RunReport, RunError>> =
                     block.par_iter().map(|spec| self.run(spec)).collect();
+                if let (Some(tel), Some(t0)) = (&self.tel, chunk_t0) {
+                    tel.observe("sweep_chunk_micros", t0.elapsed().as_micros() as u64);
+                    tel.count("sweep_cells", block.len() as u64);
+                }
                 total += block.len();
                 for report in reports {
                     let report = match report {
@@ -532,6 +601,70 @@ mod tests {
         let b = driver.run(&spec).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.rng_fingerprint, b.rng_fingerprint);
+    }
+
+    /// The contract the `Driver::tel` field documents: attaching a
+    /// registry changes nothing observable about a run. Reports —
+    /// including RNG fingerprints — are bit-identical with telemetry on
+    /// and off, across tasks, kernels, and dynamics. (The E21 bench smoke
+    /// re-checks this at larger sizes on every CI run, plus the
+    /// wall-clock overhead bound.)
+    #[test]
+    fn telemetry_equivalence() {
+        use crate::Dynamics;
+        use radionet_sim::{Kernel, Registry};
+        let specs = [
+            RunSpec::new("broadcast", Family::Grid, 36).with_seed(7),
+            RunSpec::new("mis", Family::UnitDisk, 49).with_seed(3).with_kernel(Kernel::Dense),
+            RunSpec::new("leader-election", Family::Grid, 25)
+                .with_seed(1)
+                .with_kernel(Kernel::Event),
+            RunSpec::new("broadcast", Family::UnitDisk, 49)
+                .with_seed(5)
+                .with_dynamics(Dynamics::preset("churn").unwrap()),
+        ];
+        for spec in specs {
+            let plain = Driver::standard().run(&spec).unwrap();
+            let tel = Registry::default();
+            let timed = Driver::standard().with_telemetry(tel.clone()).run(&spec).unwrap();
+            assert_eq!(plain, timed, "telemetry changed the report for {:?}", spec.task);
+            // And the registry really observed the run: the driver stages
+            // and the engine's per-phase clock all recorded samples.
+            let snap = tel.snapshot();
+            assert_eq!(snap.counter("driver_runs"), Some(1), "{:?}", spec.task);
+            for name in [
+                "driver_setup_micros",
+                "driver_simulate_micros",
+                "driver_report_micros",
+                "driver_run_micros",
+                "sim_phase_micros",
+            ] {
+                assert!(
+                    snap.histograms.iter().any(|h| h.name == name && h.count > 0),
+                    "no {name} samples for {:?}",
+                    spec.task
+                );
+            }
+        }
+    }
+
+    /// Sweeps through an instrumented driver count their cells and chunk
+    /// walls without perturbing the emitted stream.
+    #[test]
+    fn sweep_telemetry_counts_cells_without_changing_the_stream() {
+        use radionet_sim::Registry;
+        let specs: Vec<RunSpec> =
+            (0..5).map(|seed| RunSpec::new("mis", Family::Grid, 16).with_seed(seed)).collect();
+        let mut plain = MemorySink::default();
+        Driver::standard().run_sweep(&specs, &mut plain).unwrap();
+        let tel = Registry::default();
+        let driver = Driver::standard().with_telemetry(tel.clone());
+        let mut timed = MemorySink::default();
+        driver.run_sweep_streaming(specs.iter().cloned(), 2, &mut timed).unwrap();
+        assert_eq!(plain.reports, timed.reports);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("sweep_cells"), Some(5));
+        assert!(snap.histograms.iter().any(|h| h.name == "sweep_chunk_micros" && h.count > 0));
     }
 
     #[test]

@@ -578,6 +578,26 @@ mod tests {
         assert_ne!(stepped.spec_hash(), stepped.clone().with_seed(8).spec_hash());
     }
 
+    /// Telemetry is deliberately **not** a spec axis: attaching a metrics
+    /// registry is a [`Driver`](crate::Driver) property (which process
+    /// observes the run), never part of what the run *is*. So the
+    /// canonical bytes carry no telemetry field, every persisted cache
+    /// key and golden spec document from before telemetry existed stays
+    /// valid as-is, and nothing needs regenerating.
+    #[test]
+    fn telemetry_is_not_a_spec_axis() {
+        // A pre-telemetry document (all required fields, no more).
+        let legacy = "{\"task\":\"broadcast\",\"family\":\"Grid\",\"n\":36,\
+                      \"reception\":\"Protocol\",\"kernel\":\"Sparse\",\
+                      \"dynamics\":\"Static\",\"seed\":7}";
+        let spec: RunSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec, RunSpec::new("broadcast", Family::Grid, 36).with_seed(7));
+        // …and it keys to the exact hash `pinned_hashes` guards.
+        assert_eq!(spec.spec_hash().to_hex(), "96dc64666f4b0a0b4e886febffda58b4");
+        let canon = String::from_utf8(spec.canonical_bytes()).unwrap();
+        assert!(!canon.contains("telemetry"), "telemetry leaked into the canonical form");
+    }
+
     /// The canonical form is a property of the *document*, not of how it
     /// was written down: reordering fields and spelling `None` as explicit
     /// `null` (or omitting it) must not move the cache key.

@@ -4,7 +4,7 @@
 use crate::spec::RunSpec;
 use crate::topology::RunTopology;
 use radionet_journal::Recorder;
-use radionet_sim::{NetInfo, Sim};
+use radionet_sim::{NetInfo, NullSink, Registry, Sim};
 use serde::{Deserialize, Serialize};
 
 /// Per-run inputs a task receives beyond the simulator itself.
@@ -100,6 +100,22 @@ pub trait Task: Send + Sync {
     fn run_recorded(&self, sim: &mut Sim<'_, RunTopology, Recorder>, ctx: &TaskCtx) -> TaskOutcome {
         let _ = (sim, ctx);
         unimplemented!("task {:?} does not implement run_recorded (journaled runs)", self.key())
+    }
+
+    /// [`Task::run`], but on a simulator recording wall-clock telemetry
+    /// into a [`Registry`] — the third object-safe instantiation of the
+    /// shared sink-generic body (telemetry observes, never steers; the
+    /// outcome is byte-identical to [`Task::run`]'s).
+    ///
+    /// The default panics: a task without this override cannot run under
+    /// a telemetry-attached [`Driver`](crate::Driver).
+    fn run_instrumented(
+        &self,
+        sim: &mut Sim<'_, RunTopology, NullSink, Registry>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
+        let _ = (sim, ctx);
+        unimplemented!("task {:?} does not implement run_instrumented (telemetry runs)", self.key())
     }
 }
 

@@ -31,7 +31,7 @@ use radionet_core::compete::CompeteConfig;
 use radionet_core::leader_election::{run_leader_election, LeaderElectionConfig};
 use radionet_core::mis::{run_radio_mis, MisConfig};
 use radionet_journal::Recorder;
-use radionet_sim::{JournalSink, NetInfo, ReceptionMode, Sim};
+use radionet_sim::{JournalSink, NetInfo, NullSink, ReceptionMode, Registry, Sim, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,9 +46,10 @@ fn informed_fraction(best: &[Option<u64>], target: u64, n: usize) -> f64 {
     best.iter().filter(|b| **b == Some(target)).count() as f64 / n as f64
 }
 
-/// Delegates both object-safe [`Task`] entry points (`run` on the null
-/// sink, `run_recorded` on a [`Recorder`]) to one sink-generic inherent
-/// body, so no task's algorithm text is duplicated per sink.
+/// Delegates all three object-safe [`Task`] entry points (`run` on the
+/// null sink, `run_recorded` on a [`Recorder`], `run_instrumented` on a
+/// telemetry [`Registry`]) to one sink-generic inherent body, so no
+/// task's algorithm text is duplicated per instantiation.
 macro_rules! runs_via_exec {
     () => {
         fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
@@ -62,6 +63,14 @@ macro_rules! runs_via_exec {
         ) -> TaskOutcome {
             Self::exec(sim, ctx)
         }
+
+        fn run_instrumented(
+            &self,
+            sim: &mut Sim<'_, RunTopology, NullSink, Registry>,
+            ctx: &TaskCtx,
+        ) -> TaskOutcome {
+            Self::exec(sim, ctx)
+        }
     };
 }
 
@@ -69,7 +78,10 @@ macro_rules! runs_via_exec {
 pub struct BroadcastTask;
 
 impl BroadcastTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        _ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_broadcast(sim, source, MESSAGE, &CompeteConfig::default());
@@ -101,7 +113,10 @@ impl Task for BroadcastTask {
 pub struct LeaderElectionTask;
 
 impl LeaderElectionTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_leader_election(sim, ctx.lottery_seed, &LeaderElectionConfig::default());
         let agreement = match out.leader {
@@ -138,7 +153,10 @@ impl Task for LeaderElectionTask {
 pub struct MisTask;
 
 impl MisTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        _ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let g = sim.graph();
         let out = run_radio_mis(sim, &MisConfig::default());
         let valid = out.is_valid(g);
@@ -180,7 +198,10 @@ fn partition_beta(info: &NetInfo) -> f64 {
 pub struct PartitionTask;
 
 impl PartitionTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        _ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let g = sim.graph();
         let info = *sim.info();
         let mis = run_radio_mis(sim, &MisConfig::default());
@@ -226,7 +247,10 @@ impl Task for PartitionTask {
 pub struct BgiBroadcastTask;
 
 impl BgiBroadcastTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        _ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_bgi_broadcast(sim, source, MESSAGE, &BgiConfig::default());
@@ -258,7 +282,10 @@ impl Task for BgiBroadcastTask {
 pub struct CrBroadcastTask;
 
 impl CrBroadcastTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, _ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        _ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let out = run_cr_broadcast(sim, source, MESSAGE, &CrConfig::default());
@@ -290,7 +317,10 @@ impl Task for CrBroadcastTask {
 pub struct NaiveLeaderElectionTask;
 
 impl NaiveLeaderElectionTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let out = run_naive_leader_election(sim, ctx.lottery_seed, &NaiveLeConfig::default());
         let agreement = match out.leader {
@@ -328,7 +358,10 @@ impl Task for NaiveLeaderElectionTask {
 pub struct CdWakeupTask;
 
 impl CdWakeupTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let n = sim.graph().n();
         let source = sim.graph().node(SOURCE);
         let config = CdWakeupConfig { max_steps: ctx.capped(CdWakeupConfig::default().max_steps) };
@@ -391,7 +424,10 @@ fn local_mis_outcome(out: LocalMisOutcome, g: &radionet_graph::Graph) -> TaskOut
 pub struct LubyMisTask;
 
 impl LubyMisTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let g = sim.graph();
         let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x1b);
         let cap = ctx.capped(local_mis_budget(sim.info()));
@@ -421,7 +457,10 @@ impl Task for LubyMisTask {
 pub struct GhaffariMisTask;
 
 impl GhaffariMisTask {
-    fn exec<J: JournalSink>(sim: &mut Sim<'_, RunTopology, J>, ctx: &TaskCtx) -> TaskOutcome {
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
         let g = sim.graph();
         let mut rng = StdRng::seed_from_u64(ctx.lottery_seed ^ 0x9f);
         let cap = ctx.capped(local_mis_budget(sim.info()));

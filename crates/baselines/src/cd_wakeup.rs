@@ -12,7 +12,8 @@
 
 use radionet_graph::NodeId;
 use radionet_sim::{
-    Action, JournalSink, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, TopologyView, Wake,
+    Action, JournalSink, NetInfo, NodeCtx, Protocol, ReceptionMode, Sim, Telemetry, TopologyView,
+    Wake,
 };
 use serde::{Deserialize, Serialize};
 
@@ -108,8 +109,8 @@ pub struct CdWakeupOutcome {
 /// Panics if `sim` does not run under
 /// [`ReceptionMode::ProtocolCd`] — without CD this protocol stalls at the
 /// first collision, which would silently measure the wrong thing.
-pub fn run_cd_wakeup<T: TopologyView, J: JournalSink>(
-    sim: &mut Sim<'_, T, J>,
+pub fn run_cd_wakeup<T: TopologyView, J: JournalSink, M: Telemetry>(
+    sim: &mut Sim<'_, T, J, M>,
     source: NodeId,
     config: &CdWakeupConfig,
 ) -> CdWakeupOutcome {

@@ -1,0 +1,6 @@
+//! E21 — telemetry overhead guard: identical results on and off,
+//! near-zero cost for the disabled path.
+
+fn main() {
+    radionet_bench::exp_main("E21");
+}

@@ -21,6 +21,7 @@
 //! | E18 | geometry-native SINR: sparse vs dense reception | [`e18_sinr`] |
 //! | E19 | event kernel: clock jumps over silent spans | [`e19_event`] |
 //! | E20 | radionetd serving: cache + sharded sweeps | [`e20_service`] |
+//! | E21 | telemetry overhead guard | [`e21_telemetry`] |
 
 mod broadcast_exp;
 mod cluster_exp;
@@ -33,6 +34,7 @@ mod primitives_exp;
 mod scenarios_exp;
 mod service_exp;
 mod sinr_exp;
+mod telemetry_exp;
 mod throughput_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
@@ -46,6 +48,7 @@ pub use primitives_exp::{e12_calibration, e1_decay, e2_eed};
 pub use scenarios_exp::e14_scenarios;
 pub use service_exp::e20_service;
 pub use sinr_exp::e18_sinr;
+pub use telemetry_exp::e21_telemetry;
 pub use throughput_exp::e15_throughput;
 
 use radionet_analysis::ExperimentRecord;
@@ -115,6 +118,11 @@ pub const ALL: &[ExperimentDef] = &[
         id: "E20",
         claim: "radionetd serving: repeated specs hit the cache, shards merge byte-identically",
         run: e20_service,
+    },
+    ExperimentDef {
+        id: "E21",
+        claim: "telemetry observes, never steers: identical results, near-zero cost",
+        run: e21_telemetry,
     },
 ];
 

@@ -211,6 +211,39 @@ pub fn status_cmd(rest: &[String], with_report: bool) -> Result<(), String> {
     }
 }
 
+/// `metrics`: scrape a running daemon's telemetry and render it as
+/// Prometheus-style text (the default) or raw JSON (`--json`).
+///
+/// Flags: `--addr A`, `--json`.
+///
+/// # Errors
+///
+/// Flag, transport, and service failures, as printable text.
+pub fn metrics_cmd(rest: &[String]) -> Result<(), String> {
+    let mut args = Args::new(rest);
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut json = false;
+    while let Some(flag) = args.next_flag() {
+        match flag {
+            "--addr" => addr = args.value(flag)?.to_string(),
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let mut client = ServiceClient::connect(&addr).map_err(|e| e.to_string())?;
+    let response = client.call(&Request::metrics()).map_err(|e| e.to_string())?;
+    if !response.ok {
+        return Err(response.error.unwrap_or_else(|| "unspecified service error".into()));
+    }
+    let snapshot = response.metrics.ok_or("response carried no metrics snapshot")?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", radionet_telemetry::render_prometheus(&snapshot));
+    }
+    Ok(())
+}
+
 /// `call`: the raw protocol passthrough — request JSON lines on stdin,
 /// response JSON lines on stdout. CI drives `sweep`, `stats`, and
 /// `shutdown` through this without bespoke flags.

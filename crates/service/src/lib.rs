@@ -64,6 +64,6 @@ pub mod shard;
 pub use cache::{CacheConfig, CacheStats, ResultCache, Served};
 pub use client::ServiceClient;
 pub use protocol::{Request, Response, ServiceStats};
-pub use queue::{JobId, JobQueue, JobSnapshot, JobState, SubmitError};
+pub use queue::{JobId, JobQueue, JobSnapshot, JobState, QueueLatency, SubmitError};
 pub use server::{Service, ServiceConfig, ServiceHandle};
 pub use shard::{run_sweep_sharded, shard_of, ShardMode};

@@ -17,18 +17,21 @@
 //! | `result`   | `id`                  | `state`, `report?`, `cache_hit?`     |
 //! | `sweep`    | `specs`, `shards?`    | `reports`, `cache_hits`              |
 //! | `stats`    | —                     | `stats`                              |
+//! | `metrics`  | —                     | `metrics` (telemetry snapshot)       |
 //! | `shutdown` | —                     | `ok` (then the service drains)       |
 
 use crate::cache::CacheStats;
+use crate::queue::QueueLatency;
 use radionet_api::{RunReport, RunSpec};
+use radionet_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One request line (see the module table for which fields each `cmd`
 /// reads; unread fields are ignored).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Request {
-    /// The command: `submit`, `status`, `result`, `sweep`, `stats`, or
-    /// `shutdown`.
+    /// The command: `submit`, `status`, `result`, `sweep`, `stats`,
+    /// `metrics`, or `shutdown`.
     pub cmd: String,
     /// `submit`: the spec to run.
     pub spec: Option<RunSpec>,
@@ -74,6 +77,11 @@ impl Request {
         Request::bare("stats")
     }
 
+    /// `metrics` — the daemon's live telemetry snapshot.
+    pub fn metrics() -> Request {
+        Request::bare("metrics")
+    }
+
     /// `shutdown` — acknowledge, then drain and stop the service.
     pub fn shutdown() -> Request {
         Request::bare("shutdown")
@@ -95,6 +103,9 @@ pub struct ServiceStats {
     pub connections: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
+    /// Queue wait / run-time quantiles over terminal jobs (`None` until a
+    /// job has finished; also absent in responses from older daemons).
+    pub queue_latency: Option<QueueLatency>,
 }
 
 /// One response line.
@@ -123,6 +134,8 @@ pub struct Response {
     pub queued_micros: Option<u64>,
     /// Microseconds the job spent executing, when known.
     pub run_micros: Option<u64>,
+    /// `metrics`: the daemon's telemetry snapshot.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl Response {
@@ -140,6 +153,7 @@ impl Response {
             stats: None,
             queued_micros: None,
             run_micros: None,
+            metrics: None,
         }
     }
 

@@ -19,6 +19,7 @@
 //! terminal state once workers drain the queue.
 
 use radionet_api::{RunReport, RunSpec};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -113,6 +114,31 @@ pub struct JobSnapshot {
     pub queued_micros: u64,
     /// Microseconds spent executing (final once terminal; 0 while queued).
     pub run_micros: u64,
+}
+
+/// Queue wait / run-time quantiles over terminal jobs (nearest-rank, in
+/// microseconds) — the `stats` response's latency summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueLatency {
+    /// Terminal jobs the quantiles were computed over.
+    pub samples: u64,
+    /// Median queue wait.
+    pub queued_p50_micros: u64,
+    /// 99th-percentile queue wait.
+    pub queued_p99_micros: u64,
+    /// Median execution time.
+    pub run_p50_micros: u64,
+    /// 99th-percentile execution time.
+    pub run_p99_micros: u64,
+}
+
+/// Nearest-rank quantile over a sorted slice (empty ⇒ 0).
+fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// One job's full record.
@@ -313,6 +339,38 @@ impl JobQueue {
         let inner = self.inner.lock().expect("queue poisoned");
         let terminal = inner.jobs.values().filter(|j| j.state.is_terminal()).count() as u64;
         (inner.jobs.len() as u64 - terminal, terminal)
+    }
+
+    /// Queue wait / run-time quantiles over every terminal job, or `None`
+    /// before the first job finishes. Cancelled jobs contribute their
+    /// queue wait but no run time sample (they never ran).
+    pub fn latency(&self) -> Option<QueueLatency> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let mut queued: Vec<u64> = Vec::new();
+        let mut run: Vec<u64> = Vec::new();
+        for job in inner.jobs.values() {
+            if !job.state.is_terminal() {
+                continue;
+            }
+            // Same derivations as `snapshot`, without cloning the report.
+            let queued_end = job.started.or(job.finished).expect("terminal jobs are stamped");
+            queued.push(queued_end.duration_since(job.submitted).as_micros() as u64);
+            if let (Some(s), Some(f)) = (job.started, job.finished) {
+                run.push(f.duration_since(s).as_micros() as u64);
+            }
+        }
+        if queued.is_empty() {
+            return None;
+        }
+        queued.sort_unstable();
+        run.sort_unstable();
+        Some(QueueLatency {
+            samples: queued.len() as u64,
+            queued_p50_micros: quantile_sorted(&queued, 0.50),
+            queued_p99_micros: quantile_sorted(&queued, 0.99),
+            run_p50_micros: quantile_sorted(&run, 0.50),
+            run_p99_micros: quantile_sorted(&run, 0.99),
+        })
     }
 
     /// Stops intake and wakes every blocked worker; pending jobs already

@@ -32,6 +32,7 @@ use crate::protocol::{Request, Response, ServiceStats};
 use crate::queue::{JobQueue, JobSnapshot, SubmitError};
 use crate::shard::{run_sweep_sharded, ShardMode};
 use radionet_api::{Driver, MemorySink, RunSpec};
+use radionet_telemetry::{MetricsSnapshot, Registry, Stopwatch, Telemetry};
 use std::io::{self, BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,6 +67,9 @@ impl Default for ServiceConfig {
 /// Everything the threads share.
 struct Shared {
     driver: Driver,
+    /// The daemon's telemetry registry; the driver carries a clone, so
+    /// worker runs land in the same store the `metrics` command reads.
+    registry: Registry,
     cache: ResultCache,
     queue: JobQueue,
     rejected: AtomicU64,
@@ -96,7 +100,37 @@ impl Shared {
             rejected: self.rejected.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             workers: self.workers,
+            queue_latency: self.queue.latency(),
         }
+    }
+
+    /// The telemetry snapshot the `metrics` command answers with: the
+    /// registry's live counters and histograms, overlaid with the cache
+    /// and queue gauges that are tracked as plain atomics elsewhere.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        let cache = self.cache.stats();
+        snap.push_counter("cache_hits", cache.hits);
+        snap.push_counter("cache_misses", cache.misses);
+        snap.push_counter("cache_evictions", cache.evictions);
+        snap.push_counter("cache_audits", cache.audits);
+        snap.push_counter("cache_audit_failures", cache.audit_failures);
+        snap.push_counter("cache_persist_hits", cache.persist_hits);
+        snap.push_counter("connections", self.connections.load(Ordering::Relaxed));
+        snap.push_counter("rejected", self.rejected.load(Ordering::Relaxed));
+        let (live, terminal) = self.queue.counts();
+        snap.push_gauge("cache_entries", cache.entries);
+        snap.push_gauge("cache_bytes", cache.bytes);
+        snap.push_gauge("jobs_live", live);
+        snap.push_gauge("jobs_terminal", terminal);
+        snap.push_gauge("workers", self.workers);
+        if let Some(latency) = self.queue.latency() {
+            snap.push_gauge("queue_wait_p50_micros", latency.queued_p50_micros);
+            snap.push_gauge("queue_wait_p99_micros", latency.queued_p99_micros);
+            snap.push_gauge("job_run_p50_micros", latency.run_p50_micros);
+            snap.push_gauge("job_run_p99_micros", latency.run_p99_micros);
+        }
+        snap
     }
 }
 
@@ -114,8 +148,10 @@ impl Service {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let registry = Registry::default();
         let shared = Arc::new(Shared {
-            driver: Driver::standard(),
+            driver: Driver::standard().with_telemetry(registry.clone()),
+            registry,
             cache: ResultCache::open(config.cache)?,
             queue: JobQueue::new(config.queue_capacity),
             rejected: AtomicU64::new(0),
@@ -180,11 +216,19 @@ impl ServiceHandle {
 /// One worker thread: drain the queue through the cache until shutdown.
 fn worker_loop(shared: &Shared) {
     while let Some((id, spec)) = shared.queue.take() {
+        let serve = Stopwatch::start::<Registry>();
         let outcome = match shared.cache.serve(&shared.driver, &spec) {
             Ok(served) => Ok((served.report, served.hit)),
             Err(e) => Err(e.to_string()),
         };
+        serve.stop(&shared.registry, "service_cache_serve_micros");
         shared.queue.complete(id, outcome);
+        // The job is terminal now, so its timing is final.
+        if let Some(snap) = shared.queue.status(id) {
+            shared.registry.observe("service_queue_wait_micros", snap.queued_micros);
+            shared.registry.observe("service_job_run_micros", snap.run_micros);
+        }
+        shared.registry.count("service_jobs", 1);
     }
 }
 
@@ -213,10 +257,13 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
+        let request_watch = Stopwatch::start::<Registry>();
         let (response, stop) = match serde_json::from_str::<Request>(&line) {
             Ok(request) => dispatch(shared, request),
             Err(e) => (Response::err(format!("unparseable request: {e}")), false),
         };
+        request_watch.stop(&shared.registry, "service_request_micros");
+        shared.registry.count("service_requests", 1);
         let encoded = serde_json::to_string(&response)
             .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encode: {e}\"}}"));
         writer.write_all(encoded.as_bytes())?;
@@ -239,10 +286,14 @@ fn dispatch(shared: &Shared, request: Request) -> (Response, bool) {
         "result" => (handle_status(shared, request, true), false),
         "sweep" => (handle_sweep(shared, request), false),
         "stats" => (Response { stats: Some(shared.stats()), ..Response::ok() }, false),
+        "metrics" => {
+            (Response { metrics: Some(shared.metrics_snapshot()), ..Response::ok() }, false)
+        }
         "shutdown" => (Response::ok(), true),
         other => (
             Response::err(format!(
-                "unknown cmd {other:?}; submit, status, result, sweep, stats, or shutdown"
+                "unknown cmd {other:?}; submit, status, result, sweep, stats, metrics, or \
+                 shutdown"
             )),
             false,
         ),
@@ -303,8 +354,10 @@ fn handle_sweep(shared: &Shared, request: Request) -> Response {
         return Response::err("sweep needs \"specs\"");
     };
     let shards = request.shards.unwrap_or(1);
+    let lookups = Stopwatch::start::<Registry>();
     let mut reports: Vec<Option<radionet_api::RunReport>> =
         specs.iter().map(|s| shared.cache.lookup(s)).collect();
+    lookups.stop(&shared.registry, "service_cache_lookup_micros");
     let misses: Vec<(usize, RunSpec)> = specs
         .iter()
         .enumerate()

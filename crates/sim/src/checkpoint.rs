@@ -17,6 +17,7 @@ use crate::engine::Sim;
 use crate::stats::SimStats;
 use crate::topology::TopologyView;
 use radionet_journal::JournalSink;
+use radionet_telemetry::Telemetry;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize, Value};
 
@@ -127,8 +128,8 @@ impl Checkpoint {
     /// # Panics
     ///
     /// Panics if `states.len()` differs from the node count.
-    pub fn capture<T: TopologyView, J: JournalSink, P>(
-        sim: &Sim<'_, T, J>,
+    pub fn capture<T: TopologyView, J: JournalSink, M: Telemetry, P>(
+        sim: &Sim<'_, T, J, M>,
         states: &[P],
         mut encode: impl FnMut(&P) -> Value,
     ) -> Checkpoint {
@@ -157,9 +158,9 @@ impl Checkpoint {
     ///   (the simulation is left untouched);
     /// * [`CheckpointError::FingerprintMismatch`] — the restored RNG
     ///   streams contradict the recorded fingerprint.
-    pub fn restore_into<T: TopologyView, J: JournalSink, P>(
+    pub fn restore_into<T: TopologyView, J: JournalSink, M: Telemetry, P>(
         &self,
-        sim: &mut Sim<'_, T, J>,
+        sim: &mut Sim<'_, T, J, M>,
         mut decode: impl FnMut(&Value) -> Result<P, String>,
     ) -> Result<Vec<P>, CheckpointError> {
         if sim.clock() != 0 || sim.phase() != 0 {

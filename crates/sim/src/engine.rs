@@ -72,11 +72,13 @@ use radionet_journal::{
     CollisionInfo, DeliverInfo, EventClass, EventKind, GridInfo, HintInfo, JournalSink, NullSink,
     PhaseEndInfo, PhaseInfo, StatusInfo, TransmitInfo,
 };
+use radionet_telemetry::{timed, NoTelemetry, Stopwatch, Telemetry};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Records one event through the sink iff the sink is compiled in *and*
 /// wants the class. Free-standing (borrows only the sink) so emission
@@ -411,8 +413,22 @@ impl SparseSched {
 /// an uninstrumented `Sim` costs exactly what it did before the journal
 /// existed. Construct with [`Sim::try_with_journal`] (e.g. passing a
 /// `radionet_journal::Recorder`) to record.
+///
+/// The fourth parameter is the telemetry hook, built on the same
+/// monomorphization trick: a [`Telemetry`] handle the kernels time their
+/// phases through (phase wall time, topology-advance and
+/// reception-resolution time, SINR grid rebuilds, scheduler ring/heap
+/// peaks). The default [`NoTelemetry`] compiles every site away; pass a
+/// `radionet_telemetry::Registry` via [`Sim::try_instrumented`] to
+/// record. Telemetry reads the wall clock and never steers: results are
+/// byte-identical with it on or off.
 #[derive(Debug)]
-pub struct Sim<'g, T: TopologyView = StaticTopology, J: JournalSink = NullSink> {
+pub struct Sim<
+    'g,
+    T: TopologyView = StaticTopology,
+    J: JournalSink = NullSink,
+    M: Telemetry = NoTelemetry,
+> {
     graph: &'g Graph,
     topo: T,
     info: NetInfo,
@@ -452,6 +468,9 @@ pub struct Sim<'g, T: TopologyView = StaticTopology, J: JournalSink = NullSink> 
     // every use of `journal` compiles away.
     journal: J,
     phase: u64,
+    // Telemetry: wall-clock hooks, strictly outside the deterministic
+    // surface. With the default NoTelemetry every use compiles away.
+    tel: M,
 }
 
 impl<'g> Sim<'g> {
@@ -567,6 +586,29 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         reception: ReceptionMode,
         journal: J,
     ) -> Result<Self, SimError> {
+        Sim::try_instrumented(graph, topo, info, seed, reception, journal, NoTelemetry)
+    }
+}
+
+impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
+    /// Fallible construction with explicit event sink *and* telemetry
+    /// handle — the fully-general entry point the other constructors
+    /// delegate to. With a `radionet_telemetry::Registry` the kernels
+    /// record per-phase wall timings and scheduler sizes into it;
+    /// telemetry never affects results.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::try_with_topology`].
+    pub fn try_instrumented(
+        graph: &'g Graph,
+        topo: T,
+        info: NetInfo,
+        seed: u64,
+        reception: ReceptionMode,
+        journal: J,
+        tel: M,
+    ) -> Result<Self, SimError> {
         let mut sinr = false;
         if let ReceptionMode::Sinr(cfg) = &reception {
             sinr = true;
@@ -621,6 +663,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
             sinr_grid_side: 0.0,
             journal,
             phase: 0,
+            tel,
         })
     }
 
@@ -787,6 +830,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
     /// Panics if `states.len() != graph.n()`.
     pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
         assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
+        let watch = Stopwatch::start::<M>();
         let sparse_ok = self.topo.supports_change_feed();
         let event_ok = sparse_ok && self.topo.supports_event_jumps();
         let phase = self.phase;
@@ -832,6 +876,8 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         let (crossings, rows) = self.topo.index_work();
         self.stats.mobility_cell_crossings = crossings;
         self.stats.mobility_rows_recomputed = rows;
+        watch.stop(&self.tel, "sim_phase_micros");
+        self.tel.count("sim_phases", 1);
         report
     }
 
@@ -853,6 +899,11 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         // (`arena[k]` from node `tx_nodes[k]`); listeners receive `&Msg`.
         let mut arena: Vec<P::Msg> = Vec::new();
         self.listening.iter_mut().for_each(|l| *l = false);
+        // Telemetry accumulators: per-step sections summed locally in
+        // nanoseconds, observed once per phase (micros) — no per-step
+        // registry traffic.
+        let mut advance_nanos = 0u64;
+        let mut reception_nanos = 0u64;
         // Status-flip tracking (journal only): the dense kernel has no
         // change feed, so it detects flips by scanning `is_active` against
         // a snapshot — the same events the sparse kernel reads off the
@@ -867,7 +918,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
 
         for local_t in 0..max_steps {
             let gstep = self.clock + report.steps;
-            self.topo.advance_to(self.graph, gstep);
+            timed::<M, _>(&mut advance_nanos, || self.topo.advance_to(self.graph, gstep));
             if J::ENABLED && self.journal.wants(EventClass::Topology) {
                 for i in 0..states.len() {
                     let active = self.topo.is_active(NodeId::new(i));
@@ -905,6 +956,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
             report.transmissions += self.tx_nodes.len() as u64;
             self.stats.peak_step_transmissions =
                 self.stats.peak_step_transmissions.max(self.tx_nodes.len() as u64);
+            let reception_t0 = if M::ENABLED { Some(Instant::now()) } else { None };
             if let ReceptionMode::Sinr(cfg) = &self.reception {
                 // SINR reception (footnote 1): a listener decodes the
                 // strongest transmitter iff its SINR clears the threshold,
@@ -1031,6 +1083,9 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                     }
                 }
             }
+            if let Some(t0) = reception_t0 {
+                reception_nanos += t0.elapsed().as_nanos() as u64;
+            }
             report.steps += 1;
             if J::ENABLED && self.journal.checkpoint_due(self.clock + report.steps) {
                 let fp = self.rng_fingerprint();
@@ -1048,6 +1103,10 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                 report.completed = true;
                 break;
             }
+        }
+        if M::ENABLED {
+            self.tel.observe("sim_topology_advance_micros", advance_nanos / 1_000);
+            self.tel.observe("sim_reception_micros", reception_nanos / 1_000);
         }
         report
     }
@@ -1113,11 +1172,18 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         let mut arena: Vec<P::Msg> = Vec::new();
         let cd = self.reception == ReceptionMode::ProtocolCd;
         let mut skipped = 0u64;
+        // Telemetry accumulators: per-step sections summed locally in
+        // nanoseconds and scheduler size peaks tracked locally, observed
+        // once per phase — no per-step registry traffic.
+        let mut advance_nanos = 0u64;
+        let mut reception_nanos = 0u64;
+        let mut ring_peak = 0u64;
+        let mut heap_peak = 0u64;
 
         let mut local_t = 0u64;
         while local_t < max_steps {
             let gstep = self.clock + local_t;
-            self.topo.advance_to(self.graph, gstep);
+            timed::<M, _>(&mut advance_nanos, || self.topo.advance_to(self.graph, gstep));
 
             // (1) Batch topology changes: reactivated nodes rejoin the ring
             // (their next hint re-parks them if there is nothing to do);
@@ -1162,6 +1228,11 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
             arena.clear();
             self.stamp_epoch += 1;
             let ring = std::mem::take(&mut self.sched.ring);
+            if M::ENABLED {
+                ring_peak = ring_peak.max(ring.len() as u64);
+                heap_peak =
+                    heap_peak.max((self.sched.act_heap.len() + self.sched.done_heap.len()) as u64);
+            }
             for &iu in &ring {
                 let i = iu as usize;
                 if !self.sched.was_active[i] {
@@ -1200,6 +1271,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
             // neighborhoods. Either way: stamp hit nodes (collecting the
             // touched list), then resolve each touched listener exactly
             // once.
+            let reception_t0 = if M::ENABLED { Some(Instant::now()) } else { None };
             if let ReceptionMode::Sinr(cfg) = &self.reception {
                 self.sched.touched.clear();
                 if !self.tx_nodes.is_empty() {
@@ -1219,6 +1291,7 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                         _ => self.topo.positions_version(),
                     };
                     if self.sinr_grid.is_none() || version != self.sinr_grid_version {
+                        let grid_watch = Stopwatch::start::<M>();
                         let (lo, hi) = position_bounds(pos);
                         let fits = (0..3).all(|a| {
                             lo[a] >= self.sinr_grid_lo[a]
@@ -1234,6 +1307,8 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                             }
                         }
                         self.sinr_grid_version = version;
+                        grid_watch.stop(&self.tel, "sim_sinr_grid_rebuild_micros");
+                        self.tel.count("sim_sinr_grid_rebuilds", 1);
                         emit(&mut self.journal, EventClass::Sched, gstep, || {
                             EventKind::GridRebuild(GridInfo { version })
                         });
@@ -1475,6 +1550,9 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
                     }
                 }
             }
+            if let Some(t0) = reception_t0 {
+                reception_nanos += t0.elapsed().as_nanos() as u64;
+            }
 
             report.steps = local_t + 1;
             if J::ENABLED && self.journal.checkpoint_due(self.clock + report.steps) {
@@ -1550,6 +1628,12 @@ impl<'g, T: TopologyView, J: JournalSink> Sim<'g, T, J> {
         }
         self.stats.scheduler_events += self.sched.pops;
         self.stats.silent_steps_skipped += skipped;
+        if M::ENABLED {
+            self.tel.observe("sim_topology_advance_micros", advance_nanos / 1_000);
+            self.tel.observe("sim_reception_micros", reception_nanos / 1_000);
+            self.tel.observe("sim_ring_peak", ring_peak);
+            self.tel.observe("sim_heap_peak", heap_peak);
+        }
         report
     }
 }

@@ -79,6 +79,10 @@ pub use engine::{Kernel, PhaseReport, Sim, SimError};
 // dependency on the journal crate.
 pub use protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
 pub use radionet_journal::{JournalSink, NullSink};
+// The engine's telemetry vocabulary, re-exported for the same reason:
+// `Sim`'s fourth parameter (`M: Telemetry = NoTelemetry`) and downstream
+// `run_*` signatures resolve without a separate telemetry dependency.
+pub use radionet_telemetry::{NoTelemetry, Registry, Telemetry};
 pub use reception::{
     dist3, FarFieldPolicy, PositionSource, ReceptionMode, SinrConfig, NEAR_FIELD_FRACTION,
 };

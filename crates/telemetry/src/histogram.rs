@@ -1,0 +1,178 @@
+//! The log2-bucketed histogram and its percentile summary.
+
+/// A fixed-size histogram over `u64` samples, bucketed by bit length:
+/// bucket 0 holds the value 0, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`
+/// — 65 buckets total, no allocation, O(1) insert.
+///
+/// Percentiles are nearest-rank estimates resolved to the **upper bound**
+/// of the rank's bucket (clamped to the exact observed maximum), so a
+/// reported p99 is conservative: at least 99% of samples were at or below
+/// it. For wall-clock latencies — spanning nanoseconds to seconds — the
+/// factor-of-two resolution is exactly the fidelity a log2 bucket buys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+/// The summary a [`Log2Histogram`] renders to: totals plus the standard
+/// latency quantiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+    /// Upper-bound estimate of the 50th percentile.
+    pub p50: u64,
+    /// Upper-bound estimate of the 90th percentile.
+    pub p90: u64,
+    /// Upper-bound estimate of the 99th percentile.
+    pub p99: u64,
+}
+
+impl Log2Histogram {
+    /// The bucket index of `value` (its bit length).
+    #[inline]
+    fn bucket(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `b` can hold.
+    fn bucket_upper(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact observed maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper-bound nearest-rank estimate of quantile `q` in `[0, 1]`
+    /// (0 when the histogram is empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Totals plus p50/p90/p99 in one pass-friendly struct.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_bit_length() {
+        assert_eq!(Log2Histogram::bucket(0), 0);
+        assert_eq!(Log2Histogram::bucket(1), 1);
+        assert_eq!(Log2Histogram::bucket(2), 2);
+        assert_eq!(Log2Histogram::bucket(3), 2);
+        assert_eq!(Log2Histogram::bucket(4), 3);
+        assert_eq!(Log2Histogram::bucket(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_upper(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper(3), 7);
+        assert_eq!(Log2Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(Log2Histogram::default().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_clamped_to_max() {
+        let mut h = Log2Histogram::default();
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.sum, s.max), (4, 106, 100));
+        // rank ceil(0.5*4)=2 lands in bucket 2 ([2,3]) → upper bound 3.
+        assert_eq!(s.p50, 3);
+        // p99 rank 4 lands in bucket 7 ([64,127]) → clamped to max 100.
+        assert_eq!(s.p99, 100);
+        // Every quantile estimate dominates the true nearest-rank value.
+        assert!(s.p50 >= 2 && s.p90 >= 3);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact_at_max() {
+        let mut h = Log2Histogram::default();
+        h.observe(1000);
+        let s = h.summary();
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (1000, 1000, 1000, 1000));
+    }
+
+    #[test]
+    fn zero_samples_stay_in_bucket_zero() {
+        let mut h = Log2Histogram::default();
+        for _ in 0..10 {
+            h.observe(0);
+        }
+        let s = h.summary();
+        assert_eq!((s.p50, s.p99, s.max, s.sum), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Log2Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

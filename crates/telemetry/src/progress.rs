@@ -1,0 +1,174 @@
+//! Live progress for long-running sweeps: rate-limited events carrying
+//! throughput and an ETA.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One progress observation (what a `--progress` stderr line or a JSONL
+/// progress stream renders).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// Work items completed so far.
+    pub done: u64,
+    /// Total work items (0 when unknown).
+    pub total: u64,
+    /// Wall seconds since the meter started.
+    pub elapsed_secs: f64,
+    /// Completed items per wall second (0 until the clock has advanced).
+    pub per_sec: f64,
+    /// Estimated wall seconds to completion (0 when unknowable: no
+    /// throughput yet or `total` unknown).
+    pub eta_secs: f64,
+}
+
+impl ProgressEvent {
+    /// A compact single-line rendering (`done/total items, rate, ETA`),
+    /// what `radionet sweep --progress` writes to stderr.
+    pub fn render(&self) -> String {
+        if self.total > 0 {
+            format!(
+                "{}/{} cells ({:.1}%) {:.1}/s eta {:.0}s",
+                self.done,
+                self.total,
+                100.0 * self.done as f64 / self.total as f64,
+                self.per_sec,
+                self.eta_secs
+            )
+        } else {
+            format!("{} cells {:.1}/s", self.done, self.per_sec)
+        }
+    }
+}
+
+/// Receiver of [`ProgressEvent`]s.
+pub trait ProgressSink {
+    /// Handles one (already rate-limited) progress event.
+    fn progress(&mut self, event: &ProgressEvent);
+}
+
+/// A `ProgressSink` buffering every event — tests and batch consumers.
+#[derive(Default)]
+pub struct MemoryProgress {
+    /// The events received, in order.
+    pub events: Vec<ProgressEvent>,
+}
+
+impl ProgressSink for MemoryProgress {
+    fn progress(&mut self, event: &ProgressEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Tracks completions against a known total and emits rate-limited
+/// [`ProgressEvent`]s: at most one per `interval`, plus always the final
+/// one (so short sweeps still report their completion).
+#[derive(Debug)]
+pub struct ProgressMeter {
+    total: u64,
+    done: u64,
+    started: Instant,
+    last_emit: Option<Instant>,
+    interval: Duration,
+}
+
+impl ProgressMeter {
+    /// A meter over `total` work items emitting at most ~5 events/sec.
+    pub fn new(total: u64) -> ProgressMeter {
+        ProgressMeter::with_interval(total, Duration::from_millis(200))
+    }
+
+    /// A meter with an explicit minimum interval between events
+    /// (`Duration::ZERO` emits on every tick — tests).
+    pub fn with_interval(total: u64, interval: Duration) -> ProgressMeter {
+        ProgressMeter { total, done: 0, started: Instant::now(), last_emit: None, interval }
+    }
+
+    /// Work items completed so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+
+    /// The current event, computed from the wall clock.
+    pub fn event(&self) -> ProgressEvent {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let per_sec = if elapsed > 0.0 { self.done as f64 / elapsed } else { 0.0 };
+        let remaining = self.total.saturating_sub(self.done);
+        let eta_secs =
+            if per_sec > 0.0 && self.total > 0 { remaining as f64 / per_sec } else { 0.0 };
+        ProgressEvent {
+            done: self.done,
+            total: self.total,
+            elapsed_secs: elapsed,
+            per_sec,
+            eta_secs,
+        }
+    }
+
+    /// Records one completion; forwards a [`ProgressEvent`] to `sink`
+    /// when the rate limit allows it (always on the final item).
+    pub fn tick(&mut self, sink: &mut dyn ProgressSink) {
+        self.done += 1;
+        let finished = self.total > 0 && self.done >= self.total;
+        let due = match self.last_emit {
+            None => true,
+            Some(at) => at.elapsed() >= self.interval,
+        };
+        if finished || due {
+            self.last_emit = Some(Instant::now());
+            sink.progress(&self.event());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_tick_always_emits() {
+        // An hour-long interval rate-limits everything except the first
+        // tick and the guaranteed final one.
+        let mut meter = ProgressMeter::with_interval(5, Duration::from_secs(3600));
+        let mut sink = MemoryProgress::default();
+        for _ in 0..5 {
+            meter.tick(&mut sink);
+        }
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].done, 1);
+        let last = sink.events.last().unwrap();
+        assert_eq!((last.done, last.total), (5, 5));
+    }
+
+    #[test]
+    fn zero_interval_emits_every_tick_with_monotone_progress() {
+        let mut meter = ProgressMeter::with_interval(3, Duration::ZERO);
+        let mut sink = MemoryProgress::default();
+        for _ in 0..3 {
+            meter.tick(&mut sink);
+        }
+        let dones: Vec<u64> = sink.events.iter().map(|e| e.done).collect();
+        assert_eq!(dones, [1, 2, 3]);
+        assert!(sink.events.iter().all(|e| e.total == 3));
+        assert!(sink.events.windows(2).all(|w| w[1].elapsed_secs >= w[0].elapsed_secs));
+    }
+
+    #[test]
+    fn render_is_single_line() {
+        let e =
+            ProgressEvent { done: 3, total: 10, elapsed_secs: 1.5, per_sec: 2.0, eta_secs: 3.5 };
+        let line = e.render();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("3/10"));
+        let unknown =
+            ProgressEvent { done: 3, total: 0, elapsed_secs: 1.0, per_sec: 3.0, eta_secs: 0.0 };
+        assert!(unknown.render().contains("3 cells"));
+    }
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = ProgressEvent { done: 1, total: 2, elapsed_secs: 0.5, per_sec: 2.0, eta_secs: 0.5 };
+        let back: ProgressEvent =
+            serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+}

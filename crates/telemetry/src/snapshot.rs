@@ -1,0 +1,164 @@
+//! The versioned serde view of a [`Registry`](crate::Registry) and its
+//! Prometheus-style text rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// The snapshot schema version, bumped on any incompatible change to the
+/// shapes below. Clients (the `radionet metrics` command, dashboards)
+/// check it before interpreting fields.
+pub const METRICS_SNAPSHOT_VERSION: u32 = 1;
+
+/// One counter's point-in-time value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// The metric name.
+    pub name: String,
+    /// The monotone value.
+    pub value: u64,
+}
+
+/// One gauge's point-in-time value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// The metric name.
+    pub name: String,
+    /// The last written value.
+    pub value: u64,
+}
+
+/// One histogram's point-in-time summary (the
+/// [`HistogramSummary`](crate::HistogramSummary) fields plus the name,
+/// flattened for the wire).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// The metric name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+    /// Upper-bound 50th-percentile estimate.
+    pub p50: u64,
+    /// Upper-bound 90th-percentile estimate.
+    pub p90: u64,
+    /// Upper-bound 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A complete, versioned, name-ordered view of one registry — what the
+/// radionetd `metrics` protocol command returns.
+///
+/// Lists of `(name, value)` samples rather than maps: the shape survives
+/// any JSON decoder, stays ordered, and adding new sample kinds is a
+/// backward-compatible field addition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`METRICS_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Monotone counters, name-ordered.
+    pub counters: Vec<CounterSample>,
+    /// Last-write-wins gauges, name-ordered.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram summaries, name-ordered.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot at the current schema version.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: METRICS_SNAPSHOT_VERSION,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Appends a counter sample (used by services overlaying their own
+    /// counters — e.g. cache statistics — onto a registry snapshot).
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        self.counters.push(CounterSample { name: name.into(), value });
+    }
+
+    /// Appends a gauge sample.
+    pub fn push_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.push(GaugeSample { name: name.into(), value });
+    }
+
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+}
+
+/// Renders a snapshot as Prometheus-style text: `# TYPE` comments,
+/// `name value` lines for counters and gauges, and
+/// `name_count` / `name_sum` / `name_max` plus `quantile`-labelled lines
+/// for histogram summaries. Deterministic for a given snapshot.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        out.push_str(&format!("# TYPE {} counter\n{} {}\n", c.name, c.name, c.value));
+    }
+    for g in &snapshot.gauges {
+        out.push_str(&format!("# TYPE {} gauge\n{} {}\n", g.name, g.name, g.value));
+    }
+    for h in &snapshot.histograms {
+        out.push_str(&format!("# TYPE {} summary\n", h.name));
+        out.push_str(&format!("{}{{quantile=\"0.5\"}} {}\n", h.name, h.p50));
+        out.push_str(&format!("{}{{quantile=\"0.9\"}} {}\n", h.name, h.p90));
+        out.push_str(&format!("{}{{quantile=\"0.99\"}} {}\n", h.name, h.p99));
+        out.push_str(&format!("{}_max {}\n", h.name, h.max));
+        out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+        out.push_str(&format!("{}_count {}\n", h.name, h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::empty();
+        snap.push_counter("cache_hits", 3);
+        snap.push_gauge("jobs_live", 1);
+        snap.histograms.push(HistogramSample {
+            name: "run_micros".into(),
+            count: 2,
+            sum: 30,
+            max: 20,
+            p50: 15,
+            p90: 20,
+            p99: 20,
+        });
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample();
+        let line = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("cache_hits"), Some(3));
+        assert_eq!(back.counter("nope"), None);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_greppable() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE cache_hits counter\ncache_hits 3\n"));
+        assert!(text.contains("# TYPE jobs_live gauge\njobs_live 1\n"));
+        assert!(text.contains("run_micros{quantile=\"0.99\"} 20\n"));
+        assert!(text.contains("run_micros_count 2\n"));
+        assert!(text.contains("run_micros_sum 30\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&MetricsSnapshot::empty()), "");
+    }
+}

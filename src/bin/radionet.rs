@@ -26,9 +26,11 @@ use radionet::scenario::runner::{spec_for_cell, SweepConfig};
 use radionet::scenario::Scenario;
 use radionet::service::{cli as service_cli, run_sweep_sharded, ShardMode};
 use radionet::sim::{Kernel, ReceptionMode, SinrConfig};
+use radionet::telemetry::{ProgressEvent, ProgressMeter, ProgressSink};
 use serde::Serialize;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// Exit status when a replay or bisect finds a divergence (distinct from
 /// `1`, which means the command itself failed).
@@ -49,6 +51,7 @@ USAGE:
   radionet status --id N         query a submitted job's state
   radionet fetch --id N          fetch a finished job (add --report-only for raw bytes)
   radionet call [--addr A]       raw NDJSON protocol passthrough (stdin -> stdout)
+  radionet metrics [--addr A]    scrape a running daemon's telemetry snapshot
   radionet help                  this text
 
 RUN OPTIONS:
@@ -110,11 +113,16 @@ SWEEP OPTIONS:
                       deterministic shards (output stays byte-identical)
   --shard-exec PATH   shard via spawned `PATH --worker` subprocesses instead
                       of in-process threads (implies the sharded path)
+  --progress          live progress line on stderr (done/total, rate, ETA;
+                      rate-limited to ~5 updates/sec)
+  --progress-jsonl F  append one ProgressEvent JSON line per update to F
   --out FILE          write to FILE instead of stdout
 
 SERVICE COMMANDS:
-  serve / submit / status / fetch / call speak the radionetd NDJSON protocol
-  and accept --addr (default 127.0.0.1:7177); see `radionetd --help`.
+  serve / submit / status / fetch / call / metrics speak the radionetd NDJSON
+  protocol and accept --addr (default 127.0.0.1:7177); `metrics` renders the
+  daemon's telemetry snapshot as Prometheus-style text (--json for raw JSON).
+  See `radionetd --help`.
 ";
 
 fn main() -> ExitCode {
@@ -138,6 +146,7 @@ fn main() -> ExitCode {
         "status" => service_cli::status_cmd(rest, false).map(|()| ExitCode::SUCCESS),
         "fetch" => service_cli::status_cmd(rest, true).map(|()| ExitCode::SUCCESS),
         "call" => service_cli::call_cmd(rest).map(|()| ExitCode::SUCCESS),
+        "metrics" => service_cli::metrics_cmd(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -352,6 +361,8 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     let mut chunk = 64usize;
     let mut shards = 1usize;
     let mut shard_exec: Option<String> = None;
+    let mut progress = false;
+    let mut progress_jsonl: Option<String> = None;
     let mut out: Option<String> = None;
     while let Some(flag) = args.next_flag() {
         match flag {
@@ -365,24 +376,57 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
             "--chunk" => chunk = parse(flag, args.value(flag)?)?,
             "--shards" => shards = parse(flag, args.value(flag)?)?,
             "--shard-exec" => shard_exec = Some(args.value(flag)?.to_string()),
+            "--progress" => progress = true,
+            "--progress-jsonl" => progress_jsonl = Some(args.value(flag)?.to_string()),
             "--out" => out = Some(args.value(flag)?.to_string()),
             other => return Err(format!("unknown flag {other:?} (see `radionet help`)")),
         }
     }
 
+    // Where `--progress` / `--progress-jsonl` events land: a `\r`-rewritten
+    // stderr line and/or a JSON line per event. Progress is observability,
+    // never control flow, so the writes are best-effort.
+    struct ProgressWriter {
+        stderr: bool,
+        jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    }
+    impl ProgressSink for ProgressWriter {
+        fn progress(&mut self, event: &ProgressEvent) {
+            if self.stderr {
+                eprint!("\r{}", event.render());
+                if event.total > 0 && event.done >= event.total {
+                    eprintln!();
+                }
+            }
+            if let Some(w) = &mut self.jsonl {
+                if let Ok(line) = serde_json::to_string(event) {
+                    let _ = writeln!(w, "{line}");
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+
     // Delegating sink that tallies kernel fallbacks across the sweep so a
     // silently-degraded cell is reported on stderr, matching `run`'s
-    // warning (the counts also sit in every cell's stats.kernel_fallbacks).
+    // warning (the counts also sit in every cell's stats.kernel_fallbacks),
+    // and ticks the optional progress meter — reports stream through here
+    // in deterministic cell order on one thread, whichever execution path
+    // produced them.
     struct FallbackTally<'a> {
         inner: &'a mut dyn ResultSink,
         fallbacks: u64,
         cells: u64,
+        progress: Option<(ProgressMeter, ProgressWriter)>,
     }
     impl ResultSink for FallbackTally<'_> {
         fn emit(&mut self, report: &RunReport) -> std::io::Result<()> {
             if report.stats.kernel_fallbacks > 0 {
                 self.fallbacks += report.stats.kernel_fallbacks;
                 self.cells += 1;
+            }
+            if let Some((meter, writer)) = &mut self.progress {
+                meter.tick(writer);
             }
             self.inner.emit(report)
         }
@@ -410,7 +454,23 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown format {other:?}; jsonl or json")),
     };
     let driver = Driver::standard();
-    let mut tally = FallbackTally { inner: sink.as_mut(), fallbacks: 0, cells: 0 };
+    let meter = (progress || progress_jsonl.is_some()).then(|| {
+        let total = (config.scenarios.len() * config.sizes.len()) as u64 * config.seeds;
+        let jsonl = progress_jsonl.as_deref().map(|p| {
+            std::fs::File::create(p)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| format!("cannot create {p}: {e}"))
+        });
+        let jsonl = match jsonl {
+            None => None,
+            Some(Ok(w)) => Some(w),
+            Some(Err(e)) => return Err(e),
+        };
+        Ok((ProgressMeter::new(total), ProgressWriter { stderr: progress, jsonl }))
+    });
+    let meter = meter.transpose()?;
+    let sweep_started = Instant::now();
+    let mut tally = FallbackTally { inner: sink.as_mut(), fallbacks: 0, cells: 0, progress: meter };
     let emitted = if shards > 1 || shard_exec.is_some() {
         // The sharded coordinator partitions by cell position, so it needs
         // the whole spec list up front (O(cells) memory — the trade for
@@ -438,7 +498,16 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
             tally.fallbacks, tally.cells
         );
     }
-    eprintln!("{emitted} cells swept");
+    // The one-line sweep summary (always, progress or not): how much work,
+    // how fast, and whether anything degraded. Cache hits only exist on
+    // service-served sweeps — the direct driver has no cache — so this
+    // line reports fallbacks and leaves hit rates to `radionet metrics`.
+    let wall = sweep_started.elapsed().as_secs_f64();
+    let rate = if wall > 0.0 { emitted as f64 / wall } else { 0.0 };
+    eprintln!(
+        "swept {emitted} cells in {wall:.2}s ({rate:.1} cells/s), {} kernel fallback(s)",
+        tally.fallbacks
+    );
     Ok(())
 }
 

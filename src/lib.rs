@@ -28,3 +28,4 @@ pub use radionet_primitives as primitives;
 pub use radionet_scenario as scenario;
 pub use radionet_service as service;
 pub use radionet_sim as sim;
+pub use radionet_telemetry as telemetry;
