@@ -16,5 +16,5 @@ pub mod table;
 pub use experiment::{ExperimentRecord, RunRecord};
 pub use fit::{fit_power_law, PowerLawFit};
 pub use ingest::{group_summaries, metric_total, success_rate};
-pub use stats::Summary;
+pub use stats::{percentile, Summary};
 pub use table::Table;

@@ -70,6 +70,29 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     v[idx]
 }
 
+/// Exact nearest-rank percentile over a **sorted** integer sample
+/// (`rank = ⌈q·len⌉`, clamped to `[1, len]`; empty ⇒ 0).
+///
+/// This is the classic nearest-rank definition used by latency summaries —
+/// `radionetd`'s `JobQueue::latency()` and the traffic `DeliveryLedger`
+/// both fold through here, so the two layers can never disagree on what
+/// "p99" means. Note it differs from [`quantile`], which interpolates the
+/// index over `len - 1` (a convention kept for the recorded experiment
+/// tables).
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "percentile needs q in [0, 1]");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +141,51 @@ mod tests {
     #[should_panic(expected = "quantile needs q in [0, 1]")]
     fn quantile_range_checked() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[], 0.99), 0);
+    }
+
+    #[test]
+    fn percentile_single_and_extremes() {
+        let one = [42u64];
+        assert_eq!(percentile(&one, 0.0), 42);
+        assert_eq!(percentile(&one, 0.5), 42);
+        assert_eq!(percentile(&one, 1.0), 42);
+        // q = 0 clamps the rank up to 1 (the minimum), q = 1 is the max.
+        let v = [1u64, 2, 3, 4];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 4);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_semantics() {
+        // Nearest rank: ⌈0.5·4⌉ = 2 → the 2nd smallest, no interpolation.
+        let v = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&v, 0.5), 20);
+        assert_eq!(percentile(&v, 0.51), 30);
+        assert_eq!(percentile(&v, 0.99), 40);
+        // The exact values radionetd's queue summary has always produced.
+        let micros = [5u64, 7, 9, 11, 13];
+        assert_eq!(percentile(&micros, 0.50), 9);
+        assert_eq!(percentile(&micros, 0.99), 13);
+    }
+
+    #[test]
+    fn percentile_tied_values() {
+        let v = [7u64, 7, 7, 7, 9];
+        assert_eq!(percentile(&v, 0.5), 7);
+        assert_eq!(percentile(&v, 0.8), 7);
+        assert_eq!(percentile(&v, 0.81), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile needs q in [0, 1]")]
+    fn percentile_range_checked() {
+        let _ = percentile(&[1], -0.1);
     }
 
     #[test]

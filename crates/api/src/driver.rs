@@ -16,6 +16,7 @@ use radionet_sim::{
     Telemetry,
 };
 use radionet_telemetry::Stopwatch;
+use radionet_traffic::TrafficReport;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +89,12 @@ pub struct RunReport {
     /// counters and the rolling digest of the recording. `None` for plain
     /// runs, which execute on the zero-cost null sink.
     pub journal: Option<JournalSummary>,
+    /// Traffic runs only (`traffic.*` tasks): the delivery ledger's
+    /// summary — throughput and exact nearest-rank latency percentiles.
+    /// A convenience copy of the [`TaskOutcome::Traffic`] payload, so
+    /// aggregation code reads one field instead of matching the enum.
+    /// `None` for every other task.
+    pub traffic: Option<TrafficReport>,
 }
 
 /// One fully materialized cell, ready for a simulator of either sink type.
@@ -122,6 +129,10 @@ fn assemble_report<J: JournalSink, M: Telemetry>(
         success: outcome.success(),
         achieved: outcome.achieved(),
         clock_done: outcome.clock_done(),
+        traffic: match outcome {
+            TaskOutcome::Traffic(t) => Some(t),
+            _ => None,
+        },
         outcome,
         clock_total: sim.clock(),
         stats: *sim.stats(),
@@ -410,6 +421,7 @@ impl Driver {
             seed: spec.seed,
             lottery_seed: seeds::lottery_seed(spec.seed),
             step_cap: spec.steps,
+            traffic: spec.traffic,
         };
         Ok(Materialized { task, g, info, topo, n_events, reception, ctx })
     }

@@ -84,3 +84,9 @@ pub use task::{
     WakeupSummary,
 };
 pub use topology::RunTopology;
+// The streaming-traffic vocabulary, re-exported so spec-building code can
+// stay on the façade crate alone (the types live in `radionet-traffic`,
+// below this crate in the dependency graph).
+pub use radionet_traffic::{
+    Arrival, BurstyArrival, PoissonArrival, TrafficKind, TrafficReport, TrafficSpec,
+};

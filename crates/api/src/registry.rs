@@ -44,6 +44,9 @@ impl TaskRegistry {
         r.register(Box::new(tasks::CdWakeupTask));
         r.register(Box::new(tasks::LubyMisTask));
         r.register(Box::new(tasks::GhaffariMisTask));
+        r.register(Box::new(tasks::TrafficTask::new(radionet_traffic::TrafficKind::Gossip)));
+        r.register(Box::new(tasks::TrafficTask::new(radionet_traffic::TrafficKind::Unicast)));
+        r.register(Box::new(tasks::TrafficTask::new(radionet_traffic::TrafficKind::Multicast)));
         r
     }
 
@@ -106,10 +109,13 @@ mod tests {
             "cd-wakeup",
             "luby-mis",
             "ghaffari-mis",
+            "traffic.gossip",
+            "traffic.unicast",
+            "traffic.multicast",
         ] {
             assert!(r.get(key).is_some(), "missing task {key}");
         }
-        assert_eq!(r.len(), 10);
+        assert_eq!(r.len(), 13);
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub fn mobility_seed(cell_seed: u64) -> u64 {
     mix(cell_seed ^ 0xb0b)
 }
 
+/// The seed a cell's streaming-traffic plan (arrival times, destinations,
+/// multicast salts) derives from.
+pub fn traffic_seed(cell_seed: u64) -> u64 {
+    mix(cell_seed ^ 0x74af)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,13 +82,20 @@ mod tests {
         assert_eq!(sim_seed(a), 0x354c_d6cf_8f85_6e8a);
         assert_eq!(lottery_seed(a), 0xa23d_f5e8_9228_eb74);
         assert_eq!(mobility_seed(a), 0xd39a_61ed_284e_18c6);
+        assert_eq!(traffic_seed(a), 0x2906_b425_9b21_c5f3);
     }
 
     #[test]
     fn distinct_streams_per_cell_seed() {
         let s = 0x1234_5678_9abc_def0;
-        let derived =
-            [graph_seed(s), events_seed(s), sim_seed(s), lottery_seed(s), mobility_seed(s)];
+        let derived = [
+            graph_seed(s),
+            events_seed(s),
+            sim_seed(s),
+            lottery_seed(s),
+            mobility_seed(s),
+            traffic_seed(s),
+        ];
         let mut sorted = derived.to_vec();
         sorted.sort_unstable();
         sorted.dedup();

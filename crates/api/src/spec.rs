@@ -11,6 +11,7 @@ use radionet_graph::Graph;
 use radionet_journal::ClassMask;
 use radionet_mobility::{GroupDriftParams, MobilityModel, WalkParams, WaypointParams};
 use radionet_sim::{Kernel, PositionSource, ReceptionMode};
+use radionet_traffic::TrafficSpec;
 use serde::{Deserialize, Serialize};
 
 /// What to record while a run executes (see `radionet-journal`). Absent
@@ -354,6 +355,12 @@ pub struct RunSpec {
     /// `None` (the default, and what journal-less legacy specs parse to)
     /// runs on the zero-cost null sink.
     pub journal: Option<JournalSpec>,
+    /// Optional streaming-traffic axis, read by the `traffic.*` task
+    /// family (other tasks ignore it). `None` — the default, and what
+    /// every pre-traffic spec document parses to — means a traffic task
+    /// runs [`TrafficSpec::default`]; because canonicalization drops
+    /// nulls, legacy specs keep their exact spec hashes.
+    pub traffic: Option<TrafficSpec>,
     /// The cell seed every random choice derives from.
     pub seed: u64,
 }
@@ -371,6 +378,7 @@ impl RunSpec {
             dynamics: Dynamics::Static,
             steps: None,
             journal: None,
+            traffic: None,
             seed: 0,
         }
     }
@@ -402,6 +410,12 @@ impl RunSpec {
     /// Sets the journal section.
     pub fn with_journal(mut self, journal: JournalSpec) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Sets the streaming-traffic axis.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
         self
     }
 
@@ -443,6 +457,9 @@ impl RunSpec {
         }
         if let Some(journal) = &self.journal {
             journal.mask()?;
+        }
+        if let Some(traffic) = &self.traffic {
+            traffic.validate()?;
         }
         let mobility = matches!(self.dynamics, Dynamics::Mobility(_));
         if mobility && !self.family.has_embedding() {
@@ -623,6 +640,46 @@ mod tests {
         let reparsed: RunSpec = serde_json::from_str(&doc).unwrap();
         assert_eq!(reparsed, spec);
         assert_eq!(reparsed.spec_hash(), spec.spec_hash());
+    }
+
+    /// Traffic is an *optional* spec axis: a pre-traffic document (no
+    /// `traffic` key) parses to `traffic: None` and keys to the exact
+    /// hash `pinned_hashes` guards, so no persisted cache entry or golden
+    /// fixture from before the axis existed moves. Attaching a traffic
+    /// section *is* semantic and must move the hash.
+    #[test]
+    fn traffic_axis_preserves_legacy_hashes() {
+        let legacy = "{\"task\":\"broadcast\",\"family\":\"Grid\",\"n\":36,\
+                      \"reception\":\"Protocol\",\"kernel\":\"Sparse\",\
+                      \"dynamics\":\"Static\",\"seed\":7}";
+        let spec: RunSpec = serde_json::from_str(legacy).unwrap();
+        assert!(spec.traffic.is_none(), "legacy documents parse to no traffic axis");
+        assert_eq!(spec, RunSpec::new("broadcast", Family::Grid, 36).with_seed(7));
+        assert_eq!(spec.spec_hash().to_hex(), "96dc64666f4b0a0b4e886febffda58b4");
+        let canon = String::from_utf8(spec.canonical_bytes()).unwrap();
+        assert!(!canon.contains("traffic"), "absent traffic leaked into the canonical form");
+        // Attaching the axis is semantic: the hash must move, and every
+        // traffic parameter must key differently.
+        let t = spec.clone().with_traffic(TrafficSpec::default());
+        assert_ne!(t.spec_hash(), spec.spec_hash());
+        let wider = TrafficSpec { senders: 16, ..TrafficSpec::default() };
+        assert_ne!(t.spec_hash(), spec.clone().with_traffic(wider).spec_hash());
+        // The pinned cache key of the default traffic spec (the exact
+        // value produced today — same contract as `pinned_hashes`).
+        let pinned = RunSpec::new("traffic.gossip", Family::Grid, 36)
+            .with_seed(7)
+            .with_traffic(TrafficSpec::default());
+        assert_eq!(pinned.spec_hash().to_hex(), "0a7601796dfb3fd7b97ca2aa66d98128");
+    }
+
+    #[test]
+    fn traffic_section_validates() {
+        let bad = TrafficSpec { senders: 0, ..TrafficSpec::default() };
+        let spec = RunSpec::new("traffic.gossip", Family::Grid, 36).with_traffic(bad);
+        assert!(spec.validate().is_err());
+        let ok =
+            RunSpec::new("traffic.gossip", Family::Grid, 36).with_traffic(TrafficSpec::default());
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

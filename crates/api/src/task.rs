@@ -5,6 +5,7 @@ use crate::spec::RunSpec;
 use crate::topology::RunTopology;
 use radionet_journal::Recorder;
 use radionet_sim::{NetInfo, NullSink, Registry, Sim};
+use radionet_traffic::{TrafficReport, TrafficSpec};
 use serde::{Deserialize, Serialize};
 
 /// Per-run inputs a task receives beyond the simulator itself.
@@ -20,6 +21,10 @@ pub struct TaskCtx {
     /// Optional cap on the task's own step budget
     /// ([`RunSpec::steps`]).
     pub step_cap: Option<u64>,
+    /// The spec's streaming-traffic axis ([`RunSpec::traffic`]), read by
+    /// the `traffic.*` tasks (`None` runs their defaults); other tasks
+    /// ignore it.
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl TaskCtx {
@@ -184,6 +189,9 @@ pub struct WakeupSummary {
     pub completion_steps: Option<u64>,
 }
 
+/// Summary of a streaming-traffic run is [`TrafficReport`] (defined in
+/// `radionet-traffic`, next to the delivery ledger that produces it).
+///
 /// The unified, serde-able summary of any task's run.
 ///
 /// Variants are shared across algorithms solving the same problem (the BGI
@@ -202,6 +210,8 @@ pub enum TaskOutcome {
     Partition(PartitionSummary),
     /// A wake-up flood.
     Wakeup(WakeupSummary),
+    /// A streaming-traffic delivery pipeline.
+    Traffic(TrafficReport),
 }
 
 impl TaskOutcome {
@@ -213,6 +223,7 @@ impl TaskOutcome {
             TaskOutcome::Mis(m) => m.valid,
             TaskOutcome::Partition(p) => p.complete,
             TaskOutcome::Wakeup(w) => w.complete,
+            TaskOutcome::Traffic(t) => t.undelivered == 0,
         }
     }
 
@@ -231,6 +242,13 @@ impl TaskOutcome {
             }
             TaskOutcome::Partition(p) => p.coverage,
             TaskOutcome::Wakeup(w) => w.awake_fraction,
+            TaskOutcome::Traffic(t) => {
+                if t.injected == 0 {
+                    1.0
+                } else {
+                    t.delivered as f64 / t.injected as f64
+                }
+            }
         }
     }
 
@@ -242,6 +260,9 @@ impl TaskOutcome {
             TaskOutcome::Mis(m) => m.clock_done,
             TaskOutcome::Partition(p) => p.clock_done,
             TaskOutcome::Wakeup(w) => w.completion_steps,
+            // A stream has no single completion instant; the percentile
+            // fields carry the latency story.
+            TaskOutcome::Traffic(_) => None,
         }
     }
 
@@ -253,6 +274,7 @@ impl TaskOutcome {
             TaskOutcome::Mis(_) => "mis",
             TaskOutcome::Partition(_) => "partition",
             TaskOutcome::Wakeup(_) => "wakeup",
+            TaskOutcome::Traffic(_) => "traffic",
         }
     }
 }
@@ -318,6 +340,18 @@ mod tests {
                 awake_fraction: 1.0,
                 completion_steps: Some(31),
             }),
+            TaskOutcome::Traffic(TrafficReport {
+                injected: 12,
+                delivered: 11,
+                undelivered: 1,
+                throughput_per_kstep: 21.484375,
+                first_p50: 9,
+                first_p90: 17,
+                first_p99: 30,
+                full_p50: 31,
+                full_p90: 60,
+                full_p99: 95,
+            }),
         ];
         let json = serde_json::to_string_pretty(&outcomes).unwrap();
         let back: Vec<TaskOutcome> = serde_json::from_str(&json).unwrap();
@@ -326,10 +360,36 @@ mod tests {
 
     #[test]
     fn ctx_capping() {
-        let ctx = TaskCtx { seed: 0, lottery_seed: 0, step_cap: Some(100) };
+        let ctx = TaskCtx { seed: 0, lottery_seed: 0, step_cap: Some(100), traffic: None };
         assert_eq!(ctx.capped(500), 100);
         assert_eq!(ctx.capped(50), 50);
-        let open = TaskCtx { seed: 0, lottery_seed: 0, step_cap: None };
+        let open = TaskCtx { seed: 0, lottery_seed: 0, step_cap: None, traffic: None };
         assert_eq!(open.capped(500), 500);
+    }
+
+    #[test]
+    fn traffic_outcome_accessors() {
+        let full = TaskOutcome::Traffic(TrafficReport {
+            injected: 10,
+            delivered: 10,
+            undelivered: 0,
+            throughput_per_kstep: 19.53125,
+            first_p50: 4,
+            first_p90: 7,
+            first_p99: 9,
+            full_p50: 12,
+            full_p90: 20,
+            full_p99: 25,
+        });
+        assert!(full.success());
+        assert_eq!(full.achieved(), 1.0);
+        assert_eq!(full.clock_done(), None, "streams have no single completion instant");
+        assert_eq!(full.kind(), "traffic");
+        let TaskOutcome::Traffic(mut partial) = full else { unreachable!() };
+        partial.delivered = 5;
+        partial.undelivered = 5;
+        let partial = TaskOutcome::Traffic(partial);
+        assert!(!partial.success());
+        assert_eq!(partial.achieved(), 0.5);
     }
 }

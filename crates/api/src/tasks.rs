@@ -13,7 +13,11 @@
 //! | `cd-wakeup` | collision-detection wake-up flood | `Wakeup` |
 //! | `luby-mis` | Luby's LOCAL MIS reference | `Mis` |
 //! | `ghaffari-mis` | Ghaffari's LOCAL MIS reference (Alg 4) | `Mis` |
+//! | `traffic.gossip` | streaming multi-message gossip flood | `Traffic` |
+//! | `traffic.unicast` | streaming point-to-point delivery | `Traffic` |
+//! | `traffic.multicast` | streaming salted-multicast delivery | `Traffic` |
 
+use crate::seeds;
 use crate::spec::RunSpec;
 use crate::task::{
     BroadcastSummary, ElectionSummary, MisSummary, PartitionSummary, Task, TaskCtx, TaskOutcome,
@@ -31,7 +35,10 @@ use radionet_core::compete::CompeteConfig;
 use radionet_core::leader_election::{run_leader_election, LeaderElectionConfig};
 use radionet_core::mis::{run_radio_mis, MisConfig};
 use radionet_journal::Recorder;
+use radionet_primitives::decay::DecaySchedule;
+use radionet_primitives::GossipProtocol;
 use radionet_sim::{JournalSink, NetInfo, NullSink, ReceptionMode, Registry, Sim, Telemetry};
+use radionet_traffic::{DeliveryLedger, TrafficKind, TrafficPlan, TrafficSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -399,6 +406,122 @@ impl Task for CdWakeupTask {
     }
 
     runs_via_exec!();
+}
+
+/// How many Decay iterations each learned message stays *hot* (keeps
+/// generating retransmissions) in the streaming-traffic pipeline. The
+/// failure mode this bounds is a young flood dying: while a front is one
+/// node wide, every extra iteration roughly halves the chance the relay
+/// coin never lands before the window closes, and concurrent floods split
+/// the round-robin airtime, eating into the margin. Ten iterations keeps
+/// diameter-630 floods alive through front crossings (E22's at-scale
+/// cell) while a node's per-message work stays a constant number of Decay
+/// windows.
+const TRAFFIC_HOT_ITERATIONS: u32 = 10;
+
+/// The streaming-traffic delivery pipeline: a deterministic arrival plan
+/// (see `radionet-traffic`) injects messages into per-node outbound
+/// queues mid-run; every node floods what it knows with the queue-draining
+/// [`GossipProtocol`]; the delivery ledger folds who-learned-what-when
+/// back into throughput and exact latency percentiles.
+///
+/// One task per [`TrafficKind`]: the delivery mechanics are identical —
+/// the kind picks the registry key and which nodes each message is
+/// *accountable* to (everyone / one destination / a salted member set).
+pub struct TrafficTask {
+    kind: TrafficKind,
+}
+
+impl TrafficTask {
+    /// The task for one delivery-accounting kind.
+    pub fn new(kind: TrafficKind) -> Self {
+        TrafficTask { kind }
+    }
+
+    fn exec<J: JournalSink, M: Telemetry>(
+        sim: &mut Sim<'_, RunTopology, J, M>,
+        ctx: &TaskCtx,
+        kind: TrafficKind,
+    ) -> TaskOutcome {
+        let n = sim.graph().n();
+        // The spec's step cap shortens the horizon (and with it the
+        // arrival window), keeping the cap semantics of the other tasks.
+        let mut tspec = ctx.traffic.unwrap_or_default();
+        let horizon = ctx.capped(u64::from(tspec.horizon)).max(1);
+        tspec.horizon = horizon as u32;
+        let plan = TrafficPlan::build(&tspec, kind, n as u32, seeds::traffic_seed(ctx.seed));
+        let injections = plan.injections();
+        let schedule = DecaySchedule::new(sim.info().log_n());
+        let mut states: Vec<GossipProtocol> = (0..n)
+            .map(|_| GossipProtocol::new(schedule, TRAFFIC_HOT_ITERATIONS, horizon))
+            .collect();
+        sim.run_phase_with_injections(&mut states, horizon, &injections);
+        let mut ledger = DeliveryLedger::new(&plan, n as u32);
+        for (i, st) in states.iter().enumerate() {
+            for &(id, at) in st.known() {
+                ledger.observe(i as u32, id, at);
+            }
+        }
+        TaskOutcome::Traffic(ledger.report())
+    }
+}
+
+impl Task for TrafficTask {
+    fn key(&self) -> &'static str {
+        match self.kind {
+            TrafficKind::Gossip => "traffic.gossip",
+            TrafficKind::Unicast => "traffic.unicast",
+            TrafficKind::Multicast => "traffic.multicast",
+        }
+    }
+
+    fn describe(&self) -> &'static str {
+        match self.kind {
+            TrafficKind::Gossip => {
+                "streaming gossip: deterministic arrivals, queue-draining flood, \
+                 delivery = every node"
+            }
+            TrafficKind::Unicast => {
+                "streaming unicast: deterministic arrivals, queue-draining flood, \
+                 delivery = one destination per message"
+            }
+            TrafficKind::Multicast => {
+                "streaming multicast: deterministic arrivals, queue-draining flood, \
+                 delivery = a salted member set per message"
+            }
+        }
+    }
+
+    /// The default horizon: dynamics fractions scale against the phase
+    /// length a default-spec traffic run actually executes. (Custom
+    /// horizons come through the spec, which `timebase` cannot see — the
+    /// envelope stays the documented default.)
+    fn timebase(&self, _info: &NetInfo) -> u64 {
+        u64::from(TrafficSpec::default().horizon)
+    }
+
+    fn check_spec(&self, spec: &RunSpec) -> Result<(), String> {
+        if let Some(traffic) = &spec.traffic {
+            traffic.validate()?;
+        }
+        Ok(())
+    }
+
+    fn run(&self, sim: &mut Sim<'_, RunTopology>, ctx: &TaskCtx) -> TaskOutcome {
+        Self::exec(sim, ctx, self.kind)
+    }
+
+    fn run_recorded(&self, sim: &mut Sim<'_, RunTopology, Recorder>, ctx: &TaskCtx) -> TaskOutcome {
+        Self::exec(sim, ctx, self.kind)
+    }
+
+    fn run_instrumented(
+        &self,
+        sim: &mut Sim<'_, RunTopology, NullSink, Registry>,
+        ctx: &TaskCtx,
+    ) -> TaskOutcome {
+        Self::exec(sim, ctx, self.kind)
+    }
 }
 
 /// The LOCAL-model round budget of the reference MIS tasks — the single

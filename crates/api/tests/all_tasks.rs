@@ -18,7 +18,7 @@ fn spec_for(task: &str, seed: u64) -> RunSpec {
 fn every_registered_task_runs_on_a_static_grid() {
     let driver = Driver::standard();
     let keys: Vec<&str> = driver.registry().keys().collect();
-    assert_eq!(keys.len(), 10);
+    assert_eq!(keys.len(), 13);
     for key in keys {
         let report = driver.run(&spec_for(key, 5)).unwrap_or_else(|e| panic!("{key}: {e}"));
         assert!(report.success, "{key} failed on an unperturbed grid: {report:?}");

@@ -8,7 +8,9 @@
 //! `RADIONET_REGEN_FIXTURES=1 cargo test -p radionet-api --test spec_serde`
 //! and review the diff.
 
-use radionet_api::{Driver, Dynamics, JournalSpec, RunSpec, TaskRegistry};
+use radionet_api::{
+    Arrival, BurstyArrival, Driver, Dynamics, JournalSpec, RunSpec, TaskRegistry, TrafficSpec,
+};
 use radionet_graph::families::Family;
 use radionet_sim::{FarFieldPolicy, Kernel, PositionSource, ReceptionMode, SinrConfig};
 
@@ -81,6 +83,25 @@ fn corpus() -> Vec<RunSpec> {
             .with_journal(JournalSpec { classes: "radio,phase".into(), checkpoint_every: 16 }),
     );
 
+    // Traffic specs with an explicit workload section: one per arrival
+    // process (the registry loop above covers the traffic *tasks*, but
+    // with the axis unset — the encoding of the section itself must be
+    // part of the contract too).
+    specs.push(
+        RunSpec::new("traffic.gossip", Family::Grid, 36)
+            .with_seed(14)
+            .with_traffic(TrafficSpec::default()),
+    );
+    specs.push(RunSpec::new("traffic.multicast", Family::Cycle, 48).with_seed(15).with_traffic(
+        TrafficSpec {
+            arrival: Arrival::Bursty(BurstyArrival { on: 8, off: 56, per_10k: 1200 }),
+            senders: 4,
+            messages: 32,
+            horizon: 768,
+            multicast_per_mille: 300,
+        },
+    ));
+
     specs
 }
 
@@ -106,6 +127,13 @@ fn corpus_covers_every_axis() {
     assert!(specs.iter().any(|s| s.kernel == Kernel::Dense));
     assert!(specs.iter().any(|s| s.steps.is_some()));
     assert!(specs.iter().any(|s| s.journal.is_some()));
+    // Both arrival processes of the traffic axis are frozen in the corpus.
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.traffic, Some(t) if matches!(t.arrival, Arrival::Poisson(_)))));
+    assert!(specs
+        .iter()
+        .any(|s| matches!(s.traffic, Some(t) if matches!(t.arrival, Arrival::Bursty(_)))));
 }
 
 #[test]

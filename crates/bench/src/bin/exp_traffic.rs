@@ -1,0 +1,5 @@
+//! Experiment E22 binary — a thin shim over the shared experiment
+//! registry (`radionet_bench::experiments::ALL`).
+fn main() {
+    radionet_bench::exp_main("E22");
+}

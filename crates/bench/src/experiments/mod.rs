@@ -22,6 +22,7 @@
 //! | E19 | event kernel: clock jumps over silent spans | [`e19_event`] |
 //! | E20 | radionetd serving: cache + sharded sweeps | [`e20_service`] |
 //! | E21 | telemetry overhead guard | [`e21_telemetry`] |
+//! | E22 | streaming traffic pipeline | [`e22_traffic`] |
 
 mod broadcast_exp;
 mod cluster_exp;
@@ -36,6 +37,7 @@ mod service_exp;
 mod sinr_exp;
 mod telemetry_exp;
 mod throughput_exp;
+mod traffic_exp;
 
 pub use broadcast_exp::{e11_ablations, e8_broadcast, e9_leader_election};
 pub use cluster_exp::{e5_cluster_distance, e6_bad_j, e7_lemma4};
@@ -50,6 +52,7 @@ pub use service_exp::e20_service;
 pub use sinr_exp::e18_sinr;
 pub use telemetry_exp::e21_telemetry;
 pub use throughput_exp::e15_throughput;
+pub use traffic_exp::e22_traffic;
 
 use radionet_analysis::ExperimentRecord;
 
@@ -123,6 +126,11 @@ pub const ALL: &[ExperimentDef] = &[
         id: "E21",
         claim: "telemetry observes, never steers: identical results, near-zero cost",
         run: e21_telemetry,
+    },
+    ExperimentDef {
+        id: "E22",
+        claim: "streaming traffic: kernels agree at 100k nodes, throughput spans the catalogue",
+        run: e22_traffic,
     },
 ];
 

@@ -6,6 +6,9 @@
 //!   with the High/Low guarantee of Lemma 11;
 //! * [`flood`] — repeated-Decay flooding, the engine behind the BGI
 //!   broadcast baseline and several internal subroutines;
+//! * [`gossip`] — queue-draining multi-message gossip for streaming
+//!   traffic workloads (many concurrent messages, each hot for a Decay
+//!   window);
 //! * [`ids`] — random identifiers from `[O(n³)]` (paper, Section 1.1).
 
 #![forbid(unsafe_code)]
@@ -14,8 +17,10 @@
 pub mod decay;
 pub mod effective_degree;
 pub mod flood;
+pub mod gossip;
 pub mod ids;
 
 pub use decay::{DecayConfig, DecayProtocol, DecaySchedule};
 pub use effective_degree::{EedConfig, EedCounter, EedProtocol, EedVerdict};
 pub use flood::FloodProtocol;
+pub use gossip::GossipProtocol;

@@ -28,6 +28,9 @@ pub enum Workload {
     LeaderElection,
     /// Radio MIS (Theorem 14).
     Mis,
+    /// Streaming traffic: a multi-message gossip pipeline with a
+    /// deterministic arrival plan and a delivery ledger.
+    Traffic,
 }
 
 impl Workload {
@@ -39,6 +42,7 @@ impl Workload {
             Workload::Broadcast => "broadcast",
             Workload::LeaderElection => "leader-election",
             Workload::Mis => "mis",
+            Workload::Traffic => "traffic.gossip",
         }
     }
 
@@ -54,12 +58,13 @@ impl Workload {
     /// [`RunSpec`](radionet_api::RunSpec) can never time their event
     /// scripts differently.
     pub fn timebase(self, info: &NetInfo) -> u64 {
-        use radionet_api::tasks::{BroadcastTask, LeaderElectionTask, MisTask};
-        use radionet_api::Task;
+        use radionet_api::tasks::{BroadcastTask, LeaderElectionTask, MisTask, TrafficTask};
+        use radionet_api::{Task, TrafficKind};
         match self {
             Workload::Broadcast => BroadcastTask.timebase(info),
             Workload::LeaderElection => LeaderElectionTask.timebase(info),
             Workload::Mis => MisTask.timebase(info),
+            Workload::Traffic => TrafficTask::new(TrafficKind::Gossip).timebase(info),
         }
     }
 }
@@ -169,11 +174,32 @@ impl Scenario {
         ]
     }
 
-    /// Scripted catalogue plus the mobility scenarios — what the CLI
-    /// sweeps by default.
+    /// The streaming-traffic scenarios: the multi-message delivery
+    /// pipeline over a static and a churning grid. Kept out of
+    /// [`Scenario::catalogue`] for the same reason as mobility — the
+    /// frozen pre-façade reference pipeline predates traffic workloads
+    /// and is pinned against that list only.
+    pub fn traffic_catalogue() -> Vec<Scenario> {
+        let mk = |name: &str, family, dynamics| Scenario {
+            name: name.to_string(),
+            family,
+            workload: Workload::Traffic,
+            reception: ReceptionMode::Protocol,
+            dynamics,
+        };
+        let churn = Dynamics::preset("churn").expect("standard preset");
+        vec![
+            mk("grid-traffic", Family::Grid, Dynamics::Static),
+            mk("grid-traffic-churn", Family::Grid, churn),
+        ]
+    }
+
+    /// [`Scenario::catalogue`] plus the mobility and traffic cells — the
+    /// list CLI sweeps iterate.
     pub fn extended_catalogue() -> Vec<Scenario> {
         let mut all = Self::catalogue();
         all.extend(Self::mobility_catalogue());
+        all.extend(Self::traffic_catalogue());
         all
     }
 }
@@ -209,7 +235,14 @@ mod tests {
     fn extended_catalogue_adds_every_mobility_preset() {
         let cat = Scenario::extended_catalogue();
         let base = Scenario::catalogue();
-        assert_eq!(cat.len(), base.len() + Scenario::mobility_catalogue().len());
+        assert_eq!(
+            cat.len(),
+            base.len() + Scenario::mobility_catalogue().len() + Scenario::traffic_catalogue().len()
+        );
+        assert!(
+            cat.iter().any(|s| s.workload == Workload::Traffic),
+            "extended catalogue misses the streaming-traffic cells"
+        );
         for required in ["mobility:waypoint", "mobility:walk", "mobility:levy", "mobility:group"] {
             assert!(
                 cat.iter().any(|s| s.dynamics.name() == required),

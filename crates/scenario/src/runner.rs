@@ -169,6 +169,7 @@ pub fn spec_for_cell(cell: &CellSpec, kernel: Kernel) -> RunSpec {
         dynamics: cell.scenario.dynamics,
         steps: None,
         journal: None,
+        traffic: None,
         seed: cell.cell_seed,
     }
 }
@@ -234,6 +235,10 @@ pub fn run_cell_reference(spec: &CellSpec, kernel: Kernel) -> (CellResult, u64) 
             let done = valid.then(|| sim.clock());
             (valid, if valid { 1.0 } else { 0.0 }, done)
         }
+        Workload::Traffic => panic!(
+            "the frozen reference pipeline predates traffic workloads; traffic cells \
+             run only through the façade (run_cell_kernel)"
+        ),
     };
 
     let result = CellResult {

@@ -18,6 +18,10 @@
 //! states only ever move forward, and every accepted job reaches a
 //! terminal state once workers drain the queue.
 
+// Nearest-rank quantiles come from the workspace-shared helper so the
+// queue's latency summary and the traffic layer's delivery percentiles can
+// never drift apart in semantics.
+use radionet_analysis::percentile;
 use radionet_api::{RunReport, RunSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -130,15 +134,6 @@ pub struct QueueLatency {
     pub run_p50_micros: u64,
     /// 99th-percentile execution time.
     pub run_p99_micros: u64,
-}
-
-/// Nearest-rank quantile over a sorted slice (empty ⇒ 0).
-fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// One job's full record.
@@ -366,10 +361,10 @@ impl JobQueue {
         run.sort_unstable();
         Some(QueueLatency {
             samples: queued.len() as u64,
-            queued_p50_micros: quantile_sorted(&queued, 0.50),
-            queued_p99_micros: quantile_sorted(&queued, 0.99),
-            run_p50_micros: quantile_sorted(&run, 0.50),
-            run_p99_micros: quantile_sorted(&run, 0.99),
+            queued_p50_micros: percentile(&queued, 0.50),
+            queued_p99_micros: percentile(&queued, 0.99),
+            run_p50_micros: percentile(&run, 0.50),
+            run_p99_micros: percentile(&run, 0.99),
         })
     }
 

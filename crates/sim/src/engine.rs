@@ -62,6 +62,7 @@
 //! [`FarFieldPolicy::Cutoff`] is honored by the sparse kernels only — the
 //! dense reference always computes exact interference).
 
+use crate::injection::{injections_ordered, Injection};
 use crate::protocol::{Action, NetInfo, NodeCtx, Protocol, Wake};
 use crate::reception::{dist3, FarFieldPolicy, PositionSource, ReceptionMode, SinrConfig};
 use crate::stats::SimStats;
@@ -829,7 +830,36 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
     ///
     /// Panics if `states.len() != graph.n()`.
     pub fn run_phase<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
+        self.run_phase_with_injections(states, max_steps, &[])
+    }
+
+    /// [`run_phase`](Sim::run_phase) with a streaming-traffic arrival
+    /// schedule: each [`Injection`] is handed to its node — via
+    /// [`Protocol::on_inject`] — at the start of its phase-local step,
+    /// before any node acts, under **every** kernel. The dense kernel walks
+    /// each step anyway; the sparse kernel additionally re-engages the
+    /// injected node's `act` for that step (if the node is active); the
+    /// event kernel treats the next pending arrival as a wake source, so a
+    /// clock jump never overshoots an injection. Injections are applied to
+    /// protocol state regardless of activity status, keeping the kernels
+    /// byte-identical under churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`, if `injections` is not sorted
+    /// by arrival step, or if any injection names a node out of range.
+    pub fn run_phase_with_injections<P: Protocol>(
+        &mut self,
+        states: &mut [P],
+        max_steps: u64,
+        injections: &[Injection<P::Msg>],
+    ) -> PhaseReport {
         assert_eq!(states.len(), self.graph.n(), "one protocol state per node");
+        assert!(injections_ordered(injections), "injections must be sorted by arrival step");
+        assert!(
+            injections.iter().all(|r| (r.node as usize) < states.len()),
+            "injection names a node out of range"
+        );
         let watch = Stopwatch::start::<M>();
         let sparse_ok = self.topo.supports_change_feed();
         let event_ok = sparse_ok && self.topo.supports_event_jumps();
@@ -848,11 +878,11 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
             });
         }
         let mut report = match self.kernel {
-            Kernel::Event if event_ok => self.run_phase_sparse(states, max_steps, true),
+            Kernel::Event if event_ok => self.run_phase_sparse(states, max_steps, true, injections),
             Kernel::Event | Kernel::Sparse if sparse_ok => {
-                self.run_phase_sparse(states, max_steps, false)
+                self.run_phase_sparse(states, max_steps, false, injections)
             }
-            _ => self.run_phase_dense(states, max_steps),
+            _ => self.run_phase_dense(states, max_steps, injections),
         };
         // A requested-but-unavailable sparse kernel is a quiet Θ(n)-per-
         // step regression; record it so reports and the CLI can surface it.
@@ -882,7 +912,13 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
     }
 
     /// The dense reference kernel: polls every node every step.
-    fn run_phase_dense<P: Protocol>(&mut self, states: &mut [P], max_steps: u64) -> PhaseReport {
+    fn run_phase_dense<P: Protocol>(
+        &mut self,
+        states: &mut [P],
+        max_steps: u64,
+        injections: &[Injection<P::Msg>],
+    ) -> PhaseReport {
+        let mut next_inj = 0usize;
         let mut report = PhaseReport {
             steps: 0,
             transmissions: 0,
@@ -930,6 +966,15 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
                         );
                     }
                 }
+            }
+            // Traffic arrivals due this step enter their node's protocol
+            // state before anyone acts — the identical ordering every
+            // kernel honors.
+            while let Some(rec) = injections.get(next_inj).filter(|r| r.at <= local_t) {
+                next_inj += 1;
+                let i = rec.node as usize;
+                let mut ctx = NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                states[i].on_inject(&mut ctx, &rec.msg);
             }
             self.tx_nodes.clear();
             arena.clear();
@@ -1127,8 +1172,10 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
         states: &mut [P],
         max_steps: u64,
         event: bool,
+        injections: &[Injection<P::Msg>],
     ) -> PhaseReport {
         let n = states.len();
+        let mut next_inj = 0usize;
         let mut report = PhaseReport {
             steps: 0,
             transmissions: 0,
@@ -1218,6 +1265,23 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
             }
             changed.clear();
             self.sched.changed = changed;
+
+            // (1b) Traffic arrivals due this step enter their node's
+            // protocol state — same pre-act ordering as the dense kernel —
+            // and, like a reactivation, an arrival is a wake source: the
+            // injected node joins this step's ring (if active) so its next
+            // `act` and fresh hint happen exactly when dense would see the
+            // state change. A deaf (churned-down) node still queues the
+            // message; it acts on it once the change feed reactivates it.
+            while let Some(rec) = injections.get(next_inj).filter(|r| r.at <= local_t) {
+                next_inj += 1;
+                let i = rec.node as usize;
+                let mut ctx = NodeCtx { time: local_t, info: &self.info, rng: &mut self.rngs[i] };
+                states[i].on_inject(&mut ctx, &rec.msg);
+                if self.sched.was_active[i] {
+                    self.sched.ring_at(i, local_t, local_t);
+                }
+            }
 
             // (2) Due wake-ups join this step's ring.
             self.sched.pop_due_acts(local_t);
@@ -1607,6 +1671,13 @@ impl<'g, T: TopologyView, J: JournalSink, M: Telemetry> Sim<'g, T, J, M> {
                 // deterministic counters) may change.
                 if let Some(e) = self.topo.next_event(gstep) {
                     next = next.min(e.saturating_sub(self.clock));
+                }
+                // Next pending traffic arrival: an injection is a wake
+                // source, so the jump lands on (never beyond) it. Every
+                // arrival at or before `local_t` was already applied, so
+                // the clamp below cannot move this target into the past.
+                if let Some(rec) = injections.get(next_inj) {
+                    next = next.min(rec.at);
                 }
                 // Next waypoint boundary `w` is checked after executing
                 // step `w - clock - 1`; land there so the recording keeps

@@ -65,6 +65,7 @@
 mod checkpoint;
 mod cost;
 mod engine;
+mod injection;
 pub mod multiplex;
 mod protocol;
 mod reception;
@@ -74,6 +75,7 @@ pub mod topology;
 pub use checkpoint::{Checkpoint, CheckpointError, RngState};
 pub use cost::CostModel;
 pub use engine::{Kernel, PhaseReport, Sim, SimError};
+pub use injection::{injections_ordered, Injection};
 // The engine's observability vocabulary, re-exported so `Sim`'s public
 // signatures (`J: JournalSink = NullSink`) resolve without a separate
 // dependency on the journal crate.

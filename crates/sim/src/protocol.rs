@@ -249,6 +249,18 @@ pub trait Protocol {
     /// indistinguishable from silence there).
     fn on_collision(&mut self, _ctx: &mut NodeCtx<'_>) {}
 
+    /// Out-of-band arrival of a locally originated message (a traffic
+    /// injection, see [`Injection`](crate::Injection)): the application
+    /// layer hands `msg` to this node's outbound queue at the start of the
+    /// step, *before* any node acts. Every kernel delivers injections at
+    /// exactly their scheduled step — the sparse and event kernels treat a
+    /// pending arrival as a wake source and re-engage the node — so an
+    /// injection supersedes any passive window the node promised, and the
+    /// fresh hint taken after the same step's `act` covers what follows.
+    /// The default ignores the message (protocols that never carry traffic
+    /// need no queue).
+    fn on_inject(&mut self, _ctx: &mut NodeCtx<'_>, _msg: &Self::Msg) {}
+
     /// Whether this node's role in the phase is complete. A phase ends when
     /// every node is done (or the step budget runs out). Must be monotone
     /// within a phase: once `true`, it stays `true`.

@@ -16,8 +16,8 @@
 use proptest::prelude::*;
 use radionet_graph::{Graph, GraphBuilder, NodeId};
 use radionet_sim::{
-    Action, Kernel, NetInfo, NodeCtx, PhaseReport, Protocol, ReceptionMode, Sim, SimStats,
-    TopologyView, Wake,
+    injections_ordered, Action, Injection, Kernel, NetInfo, NodeCtx, PhaseReport, Protocol,
+    ReceptionMode, Sim, SimStats, TopologyView, Wake,
 };
 use rand::Rng;
 
@@ -252,6 +252,74 @@ impl Protocol for SlotBeacon {
     }
 }
 
+/// Multi-message traffic archetype: the sim-level skeleton of the
+/// queue-draining gossip pipeline. Every id learned — by out-of-band
+/// injection or over the air — stays hot for `hot_window` steps; while
+/// anything is hot the node flips one coin per step and relays the
+/// round-robin pick of its hot set. Exercises the injection path (arrival
+/// wake-ups, arrivals on churned-down nodes, event-kernel jump clamping)
+/// that none of the other archetypes touch.
+struct TrafficNode {
+    hot_window: u64,
+    horizon: u64,
+    known: Vec<(u64, u64)>,
+    last: u64,
+}
+
+impl TrafficNode {
+    fn learn(&mut self, id: u64, at: u64) {
+        if !self.known.iter().any(|&(k, _)| k == id) {
+            self.known.push((id, at));
+        }
+    }
+
+    fn hot_at(&self, now: u64) -> Option<u64> {
+        let hot: Vec<u64> = self
+            .known
+            .iter()
+            .filter(|&&(_, at)| now >= at && now - at < self.hot_window)
+            .map(|&(id, _)| id)
+            .collect();
+        if hot.is_empty() {
+            None
+        } else {
+            Some(hot[(now % hot.len() as u64) as usize])
+        }
+    }
+}
+
+impl Protocol for TrafficNode {
+    type Msg = u64;
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) -> Action<u64> {
+        self.last = ctx.time;
+        if ctx.time >= self.horizon {
+            return Action::Idle;
+        }
+        match self.hot_at(ctx.time) {
+            Some(id) if ctx.rng.gen_bool(0.45) => Action::Transmit(id),
+            _ => Action::Listen,
+        }
+    }
+    fn on_hear(&mut self, ctx: &mut NodeCtx<'_>, msg: &u64) {
+        self.learn(*msg, ctx.time);
+    }
+    fn on_inject(&mut self, ctx: &mut NodeCtx<'_>, msg: &u64) {
+        self.learn(*msg, ctx.time);
+    }
+    fn is_done(&self) -> bool {
+        self.last + 1 >= self.horizon
+    }
+    fn next_wake(&self, now: u64) -> Wake {
+        if now + 1 >= self.horizon {
+            return Wake::Retire;
+        }
+        if self.hot_at(now + 1).is_some() {
+            return Wake::Now;
+        }
+        Wake::Listen { wake_at: Wake::NEVER, done_at: Some(self.horizon - 1) }
+    }
+}
+
 /// Passive CD listener: counts messages and collision signals, never done.
 struct CdEar {
     heard: u64,
@@ -315,6 +383,40 @@ where
         let mut states: Vec<P> = (0..g.n()).map(&mk).collect();
         let rep = sim.run_phase(&mut states, steps);
         (rep, *sim.stats(), sim.rng_fingerprint(), states.iter().map(Snapshot::snapshot).collect())
+    });
+    assert_eq!(
+        runs[0].1.scheduler_events, runs[2].1.scheduler_events,
+        "event kernel must pop exactly the wake entries sparse pops"
+    );
+    for r in &mut runs {
+        r.1 = r.1.kernel_invariant();
+    }
+    runs
+}
+
+/// One kernel's traffic outcome: report, invariant stats, RNG
+/// fingerprint, and every node's learned `(message, step)` history.
+type TrafficRun = (PhaseReport, SimStats, u64, Vec<Vec<(u64, u64)>>);
+
+/// Runs a traffic phase (gossip nodes + an injection schedule) under all
+/// three kernels; same comparison contract as [`all_kernels_with`].
+fn all_kernels_injected(
+    view: &ScriptView,
+    g: &Graph,
+    seed: u64,
+    steps: u64,
+    hot_window: u64,
+    injections: &[Injection<u64>],
+) -> [TrafficRun; 3] {
+    let mut runs = [Kernel::Sparse, Kernel::Dense, Kernel::Event].map(|kernel| {
+        let info = NetInfo { n: g.n().max(2), d: 4, alpha: (g.n() as f64).max(2.0) };
+        let mut sim = Sim::with_topology(g, view.clone(), info, seed, ReceptionMode::Protocol);
+        sim.set_kernel(kernel);
+        let mut states: Vec<TrafficNode> = (0..g.n())
+            .map(|_| TrafficNode { hot_window, horizon: steps, known: Vec::new(), last: 0 })
+            .collect();
+        let rep = sim.run_phase_with_injections(&mut states, steps, injections);
+        (rep, *sim.stats(), sim.rng_fingerprint(), states.iter().map(|s| s.known.clone()).collect())
     });
     assert_eq!(
         runs[0].1.scheduler_events, runs[2].1.scheduler_events,
@@ -478,6 +580,32 @@ proptest! {
             |_| SlotBeacon { period, horizon, last: 0, txs: 0 },
             &view, &g, seed, steps,
         );
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
+    }
+
+    /// Streaming traffic under churn and jamming: a random injection
+    /// schedule (arrivals may land on down or jam-exposed nodes) flooded
+    /// by the queue-draining archetype must leave every kernel with the
+    /// identical known set on every node — the differential guarantee the
+    /// traffic pipeline's delivery ledger is built on.
+    #[test]
+    fn traffic_injections_agree_under_dynamics(
+        case in arb_dynamic_case(),
+        raw in proptest::collection::vec((0u64..60, 0u64..1000, 0u64..10), 0..16),
+        seed in 0u64..1000,
+        hot_window in 1u64..24,
+        steps in 1u64..90,
+    ) {
+        let (g, view) = case;
+        let n = g.n() as u64;
+        let mut inj: Vec<Injection<u64>> = raw
+            .into_iter()
+            .map(|(at, node, msg)| Injection { at, node: (node % n) as u32, msg })
+            .collect();
+        inj.sort_by_key(|i| (i.at, i.node, i.msg));
+        prop_assert!(injections_ordered(&inj));
+        let [a, b, c] = all_kernels_injected(&view, &g, seed, steps, hot_window, &inj);
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(&b, &c);
     }

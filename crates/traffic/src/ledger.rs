@@ -1,0 +1,225 @@
+//! The delivery ledger: folding per-node knowledge back into per-message
+//! delivery times and the run's traffic summary.
+//!
+//! The gossip pipeline records *who learned what when* (each node's known
+//! set). The ledger inverts that view: for every planned message it tracks
+//! injected-at (from the plan), first-delivered-at (the earliest step any
+//! intended recipient learned it) and fully-delivered-at (the step the
+//! last intended recipient learned it), then summarizes the run as a
+//! [`TrafficReport`] — delivered throughput plus exact nearest-rank
+//! latency percentiles via the workspace-shared
+//! [`radionet_analysis::percentile`].
+
+use crate::plan::{PlannedMessage, TrafficPlan};
+use radionet_analysis::percentile;
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Copy, Debug)]
+struct MsgState {
+    /// Intended recipients (destination-set members excluding the source).
+    intended: u64,
+    /// Distinct intended recipients observed so far.
+    heard: u64,
+    /// Earliest observation step, if any.
+    first: u64,
+    /// Latest observation step.
+    last: u64,
+}
+
+/// Per-run delivery accounting over one [`TrafficPlan`].
+///
+/// Feed it each node's learned set once per node (the gossip protocol's
+/// known list holds each message id at most once, so observations are
+/// naturally deduplicated), then call [`report`](DeliveryLedger::report).
+#[derive(Clone, Debug)]
+pub struct DeliveryLedger {
+    messages: Vec<PlannedMessage>,
+    state: Vec<MsgState>,
+    horizon: u64,
+}
+
+impl DeliveryLedger {
+    /// Build the ledger for `plan` in an `n`-node network, precomputing
+    /// every message's intended-recipient count.
+    ///
+    /// A message whose destination set is empty after excluding its source
+    /// (a salted multicast that drew nobody, or any message with `n = 1`)
+    /// counts as delivered at injection time with latency zero — the only
+    /// consistent reading of "all intended recipients have it".
+    pub fn new(plan: &TrafficPlan, n: u32) -> Self {
+        let state = plan
+            .messages
+            .iter()
+            .map(|m| {
+                let intended = (0..n).filter(|&i| i != m.src && m.dst.includes(i)).count() as u64;
+                MsgState { intended, heard: 0, first: u64::MAX, last: 0 }
+            })
+            .collect();
+        DeliveryLedger { messages: plan.messages.clone(), state, horizon: plan.horizon }
+    }
+
+    /// Record that `node` learned message `msg_id` at step `heard_at`.
+    ///
+    /// Observations from the source node or from nodes outside the
+    /// message's destination set are ignored (relays still carry traffic,
+    /// they just aren't accountable recipients). Each `(node, msg_id)`
+    /// pair must be reported at most once.
+    pub fn observe(&mut self, node: u32, msg_id: u64, heard_at: u64) {
+        let Some(m) = self.messages.get(msg_id as usize) else { return };
+        if node == m.src || !m.dst.includes(node) {
+            return;
+        }
+        let st = &mut self.state[msg_id as usize];
+        st.heard += 1;
+        st.first = st.first.min(heard_at);
+        st.last = st.last.max(heard_at);
+    }
+
+    /// Summarize the run. Latency is steps since injection; first-delivery
+    /// percentiles cover every message at least one recipient received,
+    /// full-delivery percentiles cover fully delivered messages only.
+    pub fn report(&self) -> TrafficReport {
+        let injected = self.messages.len() as u64;
+        let mut first_lat = Vec::new();
+        let mut full_lat = Vec::new();
+        for (m, st) in self.messages.iter().zip(&self.state) {
+            if st.intended == 0 {
+                // Vacuously delivered at injection.
+                first_lat.push(0);
+                full_lat.push(0);
+                continue;
+            }
+            if st.heard > 0 {
+                first_lat.push(st.first.saturating_sub(m.at));
+            }
+            if st.heard == st.intended {
+                full_lat.push(st.last.saturating_sub(m.at));
+            }
+        }
+        first_lat.sort_unstable();
+        full_lat.sort_unstable();
+        let delivered = full_lat.len() as u64;
+        TrafficReport {
+            injected,
+            delivered,
+            undelivered: injected - delivered,
+            throughput_per_kstep: delivered as f64 * 1000.0 / self.horizon.max(1) as f64,
+            first_p50: percentile(&first_lat, 0.50),
+            first_p90: percentile(&first_lat, 0.90),
+            first_p99: percentile(&first_lat, 0.99),
+            full_p50: percentile(&full_lat, 0.50),
+            full_p90: percentile(&full_lat, 0.90),
+            full_p99: percentile(&full_lat, 0.99),
+        }
+    }
+}
+
+/// The traffic summary of one run — part of the deterministic report
+/// surface, so every field is byte-stable across kernels and sweep
+/// parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Messages the plan injected.
+    pub injected: u64,
+    /// Messages every intended recipient received by the horizon.
+    pub delivered: u64,
+    /// `injected - delivered`.
+    pub undelivered: u64,
+    /// Fully delivered messages per 1000 steps of horizon.
+    pub throughput_per_kstep: f64,
+    /// Nearest-rank p50 of first-delivery latency (steps).
+    pub first_p50: u64,
+    /// Nearest-rank p90 of first-delivery latency (steps).
+    pub first_p90: u64,
+    /// Nearest-rank p99 of first-delivery latency (steps).
+    pub first_p99: u64,
+    /// Nearest-rank p50 of full-delivery latency (steps).
+    pub full_p50: u64,
+    /// Nearest-rank p90 of full-delivery latency (steps).
+    pub full_p90: u64,
+    /// Nearest-rank p99 of full-delivery latency (steps).
+    pub full_p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Dst, MulticastSet};
+
+    fn msg(id: u64, at: u64, src: u32, dst: Dst) -> PlannedMessage {
+        PlannedMessage { id, at, src, dst }
+    }
+
+    fn plan(messages: Vec<PlannedMessage>, horizon: u64) -> TrafficPlan {
+        TrafficPlan { messages, horizon }
+    }
+
+    #[test]
+    fn unicast_accounting_is_exact() {
+        // One message 0 -> 2 injected at step 4 in a 4-node net.
+        let p = plan(vec![msg(0, 4, 0, Dst::One(2))], 100);
+        let mut led = DeliveryLedger::new(&p, 4);
+        led.observe(1, 0, 6); // relay: not accountable
+        led.observe(0, 0, 4); // source: ignored
+        let r = led.report();
+        assert_eq!((r.injected, r.delivered, r.undelivered), (1, 0, 1));
+        led.observe(2, 0, 9);
+        let r = led.report();
+        assert_eq!((r.injected, r.delivered, r.undelivered), (1, 1, 0));
+        assert_eq!(r.first_p50, 5);
+        assert_eq!(r.full_p99, 5);
+        assert!((r.throughput_per_kstep - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flood_needs_every_recipient() {
+        let p = plan(vec![msg(0, 0, 1, Dst::All)], 50);
+        let mut led = DeliveryLedger::new(&p, 3); // recipients: nodes 0, 2
+        led.observe(0, 0, 3);
+        let r = led.report();
+        assert_eq!(r.delivered, 0);
+        assert_eq!(r.first_p50, 3, "first-delivery counts partial messages");
+        led.observe(2, 0, 7);
+        let r = led.report();
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.full_p50, 7);
+    }
+
+    #[test]
+    fn empty_destination_set_is_vacuously_delivered() {
+        let p = plan(vec![msg(0, 5, 0, Dst::Many(MulticastSet { salt: 1, per_mille: 0 }))], 50);
+        let led = DeliveryLedger::new(&p, 8);
+        let r = led.report();
+        assert_eq!((r.delivered, r.undelivered), (1, 0));
+        assert_eq!(r.full_p99, 0);
+    }
+
+    #[test]
+    fn percentiles_over_many_messages() {
+        // Ten unicasts all injected at 0, delivered at 1..=10.
+        let msgs: Vec<_> = (0..10).map(|i| msg(i, 0, 0, Dst::One(1 + i as u32))).collect();
+        let p = plan(msgs, 1000);
+        let mut led = DeliveryLedger::new(&p, 12);
+        for i in 0..10u64 {
+            led.observe(1 + i as u32, i, i + 1);
+        }
+        let r = led.report();
+        assert_eq!(r.delivered, 10);
+        assert_eq!(r.full_p50, 5);
+        assert_eq!(r.full_p90, 9);
+        assert_eq!(r.full_p99, 10);
+        assert_eq!(r.first_p50, 5);
+        assert!((r.throughput_per_kstep - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let p = plan(vec![msg(0, 0, 0, Dst::One(1))], 10);
+        let mut led = DeliveryLedger::new(&p, 2);
+        led.observe(1, 0, 2);
+        let r = led.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TrafficReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

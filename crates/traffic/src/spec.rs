@@ -1,0 +1,183 @@
+//! The spec-level traffic axis: what a `RunSpec` pins about its workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the memoryless arrival coin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoissonArrival {
+    /// Per-sender per-step arrival probability in basis points.
+    pub per_10k: u16,
+}
+
+/// Parameters of the on/off burst cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BurstyArrival {
+    /// Steps per cycle with arrivals enabled.
+    pub on: u16,
+    /// Silent steps per cycle.
+    pub off: u16,
+    /// In-burst arrival probability in basis points.
+    pub per_10k: u16,
+}
+
+/// A deterministic arrival process, evaluated independently per sender and
+/// per step from the traffic seed alone (integer arithmetic only — no
+/// float thresholds, no RNG state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arrival {
+    /// Bernoulli-thinned Poisson: every sender injects at every step
+    /// independently with probability `per_10k / 10_000` (the discrete
+    /// memoryless process; inter-arrival gaps are geometric).
+    Poisson(PoissonArrival),
+    /// Bursty on/off: the Poisson coin runs only during the first `on`
+    /// steps of every `on + off` cycle (cycles are phase-aligned across
+    /// senders, so bursts collide — the hard case for the channel).
+    Bursty(BurstyArrival),
+}
+
+/// What counts as "delivered" for a message — the task family member.
+/// The gossip pipeline floods every message identically; the kind decides
+/// which nodes the [`DeliveryLedger`](crate::DeliveryLedger) holds the
+/// message accountable to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// Flood/gossip: every node is an intended recipient.
+    Gossip,
+    /// Point-to-point: one drawn destination per message.
+    Unicast,
+    /// Multicast: a salted pseudo-random member set per message (density
+    /// set by [`TrafficSpec::multicast_per_mille`]).
+    Multicast,
+}
+
+impl TrafficKind {
+    /// The registry key suffix (`traffic.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficKind::Gossip => "gossip",
+            TrafficKind::Unicast => "unicast",
+            TrafficKind::Multicast => "multicast",
+        }
+    }
+}
+
+/// The traffic axis of a run spec: everything the arrival plan derives
+/// from, beyond the cell seed. Integer-only so spec hashing is trivially
+/// canonical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// The arrival process every sender runs.
+    pub arrival: Arrival,
+    /// How many sender nodes inject traffic (strided across the node
+    /// range; clamped to `n`).
+    pub senders: u32,
+    /// Cap on total injected messages (arrivals beyond it are dropped
+    /// from the plan, keeping ledger memory bounded).
+    pub messages: u32,
+    /// Phase length in steps. Arrivals run over the first half (the
+    /// second half is the drain window, where in-flight messages finish
+    /// propagating); undelivered messages are counted, not waited for.
+    pub horizon: u32,
+    /// Multicast membership density in per-mille (only read by
+    /// [`TrafficKind::Multicast`]).
+    pub multicast_per_mille: u16,
+}
+
+impl Default for TrafficSpec {
+    /// A CI-sized default: 8 senders, a 0.4% per-step arrival coin, at
+    /// most 64 messages over a 512-step horizon, 250‰ multicast sets.
+    fn default() -> Self {
+        TrafficSpec {
+            arrival: Arrival::Poisson(PoissonArrival { per_10k: 40 }),
+            senders: 8,
+            messages: 64,
+            horizon: 512,
+            multicast_per_mille: 250,
+        }
+    }
+}
+
+impl TrafficSpec {
+    /// Basic sanity: at least one sender, one message, one step, and a
+    /// non-trivial multicast density when one is set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.senders == 0 {
+            return Err("traffic.senders must be at least 1".into());
+        }
+        if self.messages == 0 {
+            return Err("traffic.messages must be at least 1".into());
+        }
+        if self.horizon == 0 {
+            return Err("traffic.horizon must be at least 1".into());
+        }
+        if self.multicast_per_mille > 1000 {
+            return Err("traffic.multicast_per_mille must be <= 1000".into());
+        }
+        let per_10k = match self.arrival {
+            Arrival::Poisson(p) => p.per_10k,
+            Arrival::Bursty(b) => {
+                if b.on == 0 {
+                    return Err("traffic bursty arrival needs on >= 1".into());
+                }
+                // b.off == 0 degenerates to Poisson — allowed.
+                b.per_10k
+            }
+        };
+        if per_10k == 0 || per_10k > 10_000 {
+            return Err("traffic arrival per_10k must be in 1..=10000".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(TrafficSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_axes() {
+        let broken = [
+            TrafficSpec { senders: 0, ..TrafficSpec::default() },
+            TrafficSpec { messages: 0, ..TrafficSpec::default() },
+            TrafficSpec { horizon: 0, ..TrafficSpec::default() },
+            TrafficSpec { multicast_per_mille: 1001, ..TrafficSpec::default() },
+            TrafficSpec {
+                arrival: Arrival::Poisson(PoissonArrival { per_10k: 0 }),
+                ..TrafficSpec::default()
+            },
+            TrafficSpec {
+                arrival: Arrival::Bursty(BurstyArrival { on: 0, off: 4, per_10k: 100 }),
+                ..TrafficSpec::default()
+            },
+        ];
+        for s in broken {
+            assert!(s.validate().is_err(), "{s:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = TrafficSpec {
+            arrival: Arrival::Bursty(BurstyArrival { on: 8, off: 56, per_10k: 1200 }),
+            senders: 16,
+            messages: 128,
+            horizon: 1024,
+            multicast_per_mille: 125,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TrafficSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TrafficKind::Gossip.name(), "gossip");
+        assert_eq!(TrafficKind::Unicast.name(), "unicast");
+        assert_eq!(TrafficKind::Multicast.name(), "multicast");
+    }
+}

@@ -417,6 +417,13 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         inner: &'a mut dyn ResultSink,
         fallbacks: u64,
         cells: u64,
+        /// Streaming-traffic cells seen, their injected/delivered message
+        /// totals and summed delivered throughput — the sweep-level view
+        /// of the delivery pipeline for the summary line.
+        traffic_cells: u64,
+        traffic_injected: u64,
+        traffic_delivered: u64,
+        traffic_thpt: f64,
         progress: Option<(ProgressMeter, ProgressWriter)>,
     }
     impl ResultSink for FallbackTally<'_> {
@@ -424,6 +431,12 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
             if report.stats.kernel_fallbacks > 0 {
                 self.fallbacks += report.stats.kernel_fallbacks;
                 self.cells += 1;
+            }
+            if let Some(t) = &report.traffic {
+                self.traffic_cells += 1;
+                self.traffic_injected += t.injected;
+                self.traffic_delivered += t.delivered;
+                self.traffic_thpt += t.throughput_per_kstep;
             }
             if let Some((meter, writer)) = &mut self.progress {
                 meter.tick(writer);
@@ -470,7 +483,16 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
     });
     let meter = meter.transpose()?;
     let sweep_started = Instant::now();
-    let mut tally = FallbackTally { inner: sink.as_mut(), fallbacks: 0, cells: 0, progress: meter };
+    let mut tally = FallbackTally {
+        inner: sink.as_mut(),
+        fallbacks: 0,
+        cells: 0,
+        traffic_cells: 0,
+        traffic_injected: 0,
+        traffic_delivered: 0,
+        traffic_thpt: 0.0,
+        progress: meter,
+    };
     let emitted = if shards > 1 || shard_exec.is_some() {
         // The sharded coordinator partitions by cell position, so it needs
         // the whole spec list up front (O(cells) memory — the trade for
@@ -508,6 +530,20 @@ fn cmd_sweep(rest: &[String]) -> Result<(), String> {
         "swept {emitted} cells in {wall:.2}s ({rate:.1} cells/s), {} kernel fallback(s)",
         tally.fallbacks
     );
+    // Streaming-traffic cells get their own line: how much of the
+    // injected workload was fully delivered and the mean delivered
+    // throughput across the traffic cells (absent when nothing in the
+    // sweep carried traffic).
+    if tally.traffic_cells > 0 {
+        eprintln!(
+            "traffic: {} cell(s), {}/{} message(s) fully delivered, \
+             mean {:.1} delivered/kstep",
+            tally.traffic_cells,
+            tally.traffic_delivered,
+            tally.traffic_injected,
+            tally.traffic_thpt / tally.traffic_cells as f64,
+        );
+    }
     Ok(())
 }
 
